@@ -1,0 +1,205 @@
+package perspectron
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"perspectron/internal/perceptron"
+	"perspectron/internal/sim"
+	"perspectron/internal/trace"
+	"perspectron/internal/workload"
+)
+
+// Classifier is the multi-way companion to Detector (§VII-B): a one-vs-rest
+// perceptron bank that names the attack *category* of each sampling
+// interval ("spectre_v1", "flush_reload", ..., or "benign"), so the OS can
+// pick a category-appropriate mitigation. It uses the full counter space —
+// distinguishing Spectre variants needs the per-predictor-unit counters the
+// binary selection has no reason to keep.
+type Classifier struct {
+	Classes      []string    `json:"classes"`
+	FeatureNames []string    `json:"feature_names"`
+	Weights      [][]float64 `json:"weights"` // [class][feature]
+	Biases       []float64   `json:"biases"`
+	Interval     uint64      `json:"interval"`
+	GlobalMax    []float64   `json:"global_max"`
+
+	indices []int
+}
+
+// TrainClassifier collects traces and trains the one-vs-rest bank.
+func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("perspectron: no training workloads")
+	}
+	ds := trace.Collect(workloads, trace.CollectConfig{
+		MaxInsts: opts.MaxInsts,
+		Interval: opts.Interval,
+		Seed:     opts.Seed,
+		Runs:     opts.Runs,
+	})
+	enc := trace.NewEncoder(ds)
+	X, _ := enc.BinaryMatrix(ds)
+
+	labelOf := func(s *trace.Sample) string {
+		if s.Label == workload.Benign {
+			return "benign"
+		}
+		return s.Category
+	}
+	classSet := map[string]bool{}
+	labels := make([]string, len(ds.Samples))
+	for i := range ds.Samples {
+		labels[i] = labelOf(&ds.Samples[i])
+		classSet[labels[i]] = true
+	}
+	var classes []string
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sortStrings(classes)
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("perspectron: classifier needs at least two classes, got %v", classes)
+	}
+
+	pcfg := perceptron.DefaultConfig()
+	pcfg.Seed = opts.Seed
+	mc := perceptron.NewMultiClass(classes, ds.NumFeatures(), pcfg)
+	mc.Fit(X, labels)
+
+	c := &Classifier{
+		Classes:      classes,
+		FeatureNames: ds.FeatureNames,
+		Interval:     opts.Interval,
+		GlobalMax:    make([]float64, ds.NumFeatures()),
+	}
+	for j := 0; j < ds.NumFeatures(); j++ {
+		c.GlobalMax[j] = enc.M.GlobalMax(j)
+	}
+	for _, det := range mc.Detectors {
+		c.Weights = append(c.Weights, det.W)
+		c.Biases = append(c.Biases, det.Bias)
+	}
+	c.indices = identity(ds.NumFeatures())
+	return c, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// resolve maps feature names to counter indices on the machine.
+func (c *Classifier) resolve(m *sim.Machine) error {
+	if c.indices != nil && len(c.indices) == len(c.FeatureNames) {
+		return nil
+	}
+	c.indices = make([]int, len(c.FeatureNames))
+	for i, name := range c.FeatureNames {
+		cc, ok := m.Reg.Lookup(name)
+		if !ok {
+			return fmt.Errorf("perspectron: counter %q not present on this machine", name)
+		}
+		c.indices[i] = cc.Index()
+	}
+	return nil
+}
+
+// classScores computes per-class normalized outputs for one raw delta.
+func (c *Classifier) classScores(raw []float64) []float64 {
+	bits := make([]float64, len(c.indices))
+	for i, j := range c.indices {
+		if mx := c.GlobalMax[i]; mx > 0 && raw[j]/mx >= 0.5 {
+			bits[i] = 1
+		}
+	}
+	out := make([]float64, len(c.Classes))
+	for ci := range c.Classes {
+		s := c.Biases[ci]
+		norm := abs(c.Biases[ci])
+		w := c.Weights[ci]
+		for i, b := range bits {
+			if b != 0 {
+				s += w[i]
+				norm += abs(w[i])
+			}
+		}
+		if norm > 0 {
+			out[ci] = s / norm
+		}
+	}
+	return out
+}
+
+// Classification is the outcome of classifying one workload run.
+type Classification struct {
+	Workload string
+	// Votes counts the per-interval argmax classes.
+	Votes map[string]int
+	// Class is the majority class across intervals.
+	Class string
+	// Confidence is Votes[Class] / total intervals.
+	Confidence float64
+}
+
+// Classify runs the workload and names its class by per-interval majority
+// vote.
+func (c *Classifier) Classify(w Workload, maxInsts uint64, seed int64) (*Classification, error) {
+	m := sim.NewMachine(sim.DefaultConfig())
+	if err := c.resolve(m); err != nil {
+		return nil, err
+	}
+	vecs := m.Run(w.Stream(rand.New(rand.NewSource(seed))), maxInsts, c.Interval)
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("perspectron: workload produced no samples")
+	}
+	res := &Classification{Workload: w.Info().Name, Votes: map[string]int{}}
+	for _, raw := range vecs {
+		scores := c.classScores(raw)
+		best := 0
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[best] {
+				best = i
+			}
+		}
+		res.Votes[c.Classes[best]]++
+	}
+	for class, n := range res.Votes {
+		if n > res.Votes[res.Class] || res.Class == "" {
+			res.Class = class
+		}
+	}
+	res.Confidence = float64(res.Votes[res.Class]) / float64(len(vecs))
+	return res, nil
+}
+
+// Save serializes the classifier as JSON.
+func (c *Classifier) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// LoadClassifier reads a classifier written by Save.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("perspectron: decoding classifier: %w", err)
+	}
+	if len(c.Weights) != len(c.Classes) || len(c.Biases) != len(c.Classes) {
+		return nil, fmt.Errorf("perspectron: corrupt classifier")
+	}
+	return &c, nil
+}

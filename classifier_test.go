@@ -1,0 +1,107 @@
+package perspectron
+
+import (
+	"bytes"
+	"testing"
+)
+
+var cachedClassifier *Classifier
+
+func sharedClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	if cachedClassifier == nil {
+		opts := DefaultOptions()
+		opts.MaxInsts = 150_000
+		opts.Runs = 1
+		c, err := TrainClassifier(TrainingWorkloads(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedClassifier = c
+	}
+	return cachedClassifier
+}
+
+func TestClassifierClasses(t *testing.T) {
+	c := sharedClassifier(t)
+	if len(c.Classes) < 10 {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+	hasBenign := false
+	for _, cl := range c.Classes {
+		if cl == "benign" {
+			hasBenign = true
+		}
+	}
+	if !hasBenign {
+		t.Fatalf("no benign class")
+	}
+}
+
+func TestClassifierNamesAttacks(t *testing.T) {
+	c := sharedClassifier(t)
+	cases := map[string]string{
+		"flush+flush":  "flush_flush",
+		"flush+reload": "flush_reload",
+		"prime+probe":  "prime_probe",
+		"meltdown":     "meltdown",
+	}
+	for name, wantClass := range cases {
+		res, err := c.Classify(AttackByName(name, "fr"), 80_000, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != wantClass {
+			t.Errorf("%s classified as %q (votes %v), want %q",
+				name, res.Class, res.Votes, wantClass)
+		}
+	}
+}
+
+func TestClassifierNamesBenign(t *testing.T) {
+	c := sharedClassifier(t)
+	res, err := c.Classify(BenignWorkloads()[0], 60_000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != "benign" {
+		t.Fatalf("bzip2 classified as %q (votes %v)", res.Class, res.Votes)
+	}
+	if res.Confidence < 0.8 {
+		t.Fatalf("benign confidence %.2f", res.Confidence)
+	}
+}
+
+func TestClassifierSaveLoad(t *testing.T) {
+	c := sharedClassifier(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.Classify(AttackByName("flush+flush", ""), 60_000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != "flush_flush" {
+		t.Fatalf("loaded classifier names flush+flush as %q", res.Class)
+	}
+}
+
+func TestLoadClassifierErrors(t *testing.T) {
+	if _, err := LoadClassifier(bytes.NewBufferString("{")); err == nil {
+		t.Fatalf("truncated JSON accepted")
+	}
+	if _, err := LoadClassifier(bytes.NewBufferString(`{"classes":["a"],"weights":[]}`)); err == nil {
+		t.Fatalf("corrupt classifier accepted")
+	}
+}
+
+func TestTrainClassifierErrors(t *testing.T) {
+	if _, err := TrainClassifier(nil, DefaultOptions()); err == nil {
+		t.Fatalf("empty corpus accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|table1|table2|table3|table4|fig3|fig4|fig5|timing|weights]
+//	            [-quick] [-seed N] [-insts N] [-runs N]
+//
+// Each experiment prints its paper artefact as text, with the paper's
+// reported numbers alongside for comparison. EXPERIMENTS.md records a full
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"perspectron/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, fig1, table1, table2, table3, table4, fig3, fig4, fig5, timing, weights, multiway, mitigate, rhmd)")
+	quick := flag.Bool("quick", false, "use the reduced quick configuration")
+	seed := flag.Int64("seed", 1, "global random seed")
+	insts := flag.Uint64("insts", 0, "override committed instructions per program run")
+	runs := flag.Int("runs", 0, "override independent runs per program")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *insts > 0 {
+		cfg.MaxInsts = *insts
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	all := []struct {
+		name string
+		fn   func() renderer
+	}{
+		{"table2", func() renderer { return experiments.Table2() }},
+		{"fig1", func() renderer { return experiments.Fig1(cfg) }},
+		{"table1", func() renderer { return experiments.Table1(cfg) }},
+		{"table3", func() renderer { return experiments.Table3(cfg) }},
+		{"fig5", func() renderer { return experiments.Fig5(cfg) }},
+		{"table4", func() renderer { return experiments.Table4(cfg) }},
+		{"fig3", func() renderer { return experiments.Fig3(cfg) }},
+		{"fig4", func() renderer { return experiments.Fig4(cfg) }},
+		{"timing", func() renderer { return experiments.Timing() }},
+		{"weights", func() renderer { return experiments.Weights(cfg) }},
+		{"multiway", func() renderer { return experiments.Multiway(cfg) }},
+		{"mitigate", func() renderer { return experiments.Mitigate(cfg) }},
+		{"rhmd", func() renderer { return experiments.RHMD(cfg) }},
+		{"zeroday", func() renderer { return experiments.ZeroDay(cfg) }},
+		{"sched", func() renderer { return experiments.Sched(cfg) }},
+	}
+
+	want := strings.ToLower(*run)
+	matched := false
+	for _, e := range all {
+		if want != "all" && want != e.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		fmt.Printf("==== %s ====\n\n", e.name)
+		fmt.Println(e.fn().Render())
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,274 @@
+// Command perspectron trains and runs the PerSpectron detector.
+//
+// Subcommands:
+//
+//	perspectron train  [-out detector.json] [-insts N] [-runs N] [-seed N]
+//	perspectron detect [-in detector.json] -workload <name> [-channel fr|ff|pp]
+//	                   [-bandwidth F] [-poly N] [-insts N] [-seed N]
+//	perspectron info   [-in detector.json]
+//	perspectron list
+//
+// `detect` monitors the named workload on a fresh simulated machine and
+// prints the per-interval confidence, the flag point, and whether detection
+// preceded the first disclosure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perspectron"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "detect":
+		cmdDetect(os.Args[2:])
+	case "classify-train":
+		cmdClassifyTrain(os.Args[2:])
+	case "classify":
+		cmdClassify(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "list":
+		cmdList()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|list} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perspectron:", err)
+	os.Exit(1)
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("out", "detector.json", "output path for the trained detector")
+	insts := fs.Uint64("insts", 300_000, "committed instructions per training run")
+	runs := fs.Int("runs", 2, "runs per workload")
+	seed := fs.Int64("seed", 1, "random seed")
+	interval := fs.Uint64("interval", 10_000, "sampling granularity")
+	fs.Parse(args)
+
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = *insts
+	opts.Runs = *runs
+	opts.Seed = *seed
+	opts.Interval = *interval
+
+	fmt.Fprintln(os.Stderr, "training on the full workload corpus...")
+	det, err := perspectron.Train(perspectron.TrainingWorkloads(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		fatal(err)
+	}
+	h := det.Hardware()
+	fmt.Fprintf(os.Stderr, "trained detector: %d features, threshold %.2f\n",
+		det.NumFeatures(), det.Threshold)
+	fmt.Fprintf(os.Stderr, "hardware: %d-cycle inference, %d weight bits, %.2f µs sampling\n",
+		h.InferenceCycles(), h.WeightStorageBits(), h.SamplingIntervalUs())
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func loadDetector(path string) *perspectron.Detector {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	det, err := perspectron.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return det
+}
+
+func cmdDetect(args []string) {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	in := fs.String("in", "detector.json", "trained detector path")
+	name := fs.String("workload", "", "workload to monitor (see `perspectron list`)")
+	channel := fs.String("channel", "fr", "disclosure channel for attacks")
+	bandwidth := fs.Float64("bandwidth", 1.0, "attack bandwidth factor (1.0 = unmodified)")
+	poly := fs.Int("poly", -1, "polymorphic SpectreV1 variant index (0-11), -1 = off")
+	insts := fs.Uint64("insts", 200_000, "instructions to monitor")
+	seed := fs.Int64("seed", 42, "workload seed")
+	fs.Parse(args)
+	if *name == "" && *poly < 0 {
+		fmt.Fprintln(os.Stderr, "detect: -workload required (or -poly)")
+		os.Exit(2)
+	}
+
+	det := loadDetector(*in)
+	var w perspectron.Workload
+	switch {
+	case *poly >= 0:
+		w = perspectron.PolymorphicVariants(*channel)[*poly%12]
+	default:
+		w = perspectron.AttackByName(*name, *channel)
+		if w == nil {
+			for _, b := range perspectron.BenignWorkloads() {
+				if b.Info().Name == *name {
+					w = b
+				}
+			}
+		}
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; try `perspectron list`\n", *name)
+		os.Exit(2)
+	}
+	if *bandwidth < 1.0 {
+		w = perspectron.ReduceBandwidth(w, *bandwidth)
+	}
+
+	rep, err := det.Monitor(w, *insts, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s (ground truth: malicious=%v)\n", rep.Workload, rep.Malicious)
+	for _, s := range rep.Samples {
+		mark := " "
+		if s.Flagged {
+			mark = "!"
+		}
+		fmt.Printf("  sample %3d  insts %8d  score %+.3f %s\n", s.Index, s.Insts, s.Score, mark)
+	}
+	if rep.Detected {
+		fmt.Printf("DETECTED at sample %d", rep.FirstFlag)
+		if len(rep.LeakSamples) > 0 {
+			if rep.LeakBefore {
+				fmt.Printf(" (first leak at sample %d: post-leakage)", rep.LeakSamples[0])
+			} else {
+				fmt.Printf(" (first leak at sample %d: detected pre-leakage)", rep.LeakSamples[0])
+			}
+		}
+		fmt.Println()
+	} else {
+		fmt.Println("no detection")
+	}
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "detector.json", "trained detector path")
+	fs.Parse(args)
+	det := loadDetector(*in)
+	fmt.Printf("features:  %d\n", det.NumFeatures())
+	fmt.Printf("threshold: %.2f\n", det.Threshold)
+	fmt.Printf("interval:  %d instructions\n", det.Interval)
+	h := det.Hardware()
+	fmt.Printf("hardware:  %d-cycle inference, %d weight bits, %.2f µs sampling\n",
+		h.InferenceCycles(), h.WeightStorageBits(), h.SamplingIntervalUs())
+	sus, ben := det.TopFeatures(8)
+	fmt.Println("\nmost suspicious features:")
+	for _, f := range sus {
+		fmt.Printf("  %+8.3f  %s\n", f.Weight, f.Name)
+	}
+	fmt.Println("most benign features:")
+	for _, f := range ben {
+		fmt.Printf("  %+8.3f  %s\n", f.Weight, f.Name)
+	}
+}
+
+func cmdClassifyTrain(args []string) {
+	fs := flag.NewFlagSet("classify-train", flag.ExitOnError)
+	out := fs.String("out", "classifier.json", "output path for the trained classifier")
+	insts := fs.Uint64("insts", 300_000, "committed instructions per training run")
+	runs := fs.Int("runs", 2, "runs per workload")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = *insts
+	opts.Runs = *runs
+	opts.Seed = *seed
+
+	fmt.Fprintln(os.Stderr, "training the multi-way classifier...")
+	c, err := perspectron.TrainClassifier(perspectron.TrainingWorkloads(), opts)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "classes: %v\nwrote %s\n", c.Classes, *out)
+}
+
+func cmdClassify(args []string) {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	in := fs.String("in", "classifier.json", "trained classifier path")
+	name := fs.String("workload", "", "workload to classify")
+	channel := fs.String("channel", "fr", "disclosure channel for attacks")
+	insts := fs.Uint64("insts", 100_000, "instructions to observe")
+	seed := fs.Int64("seed", 42, "workload seed")
+	fs.Parse(args)
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "classify: -workload required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	c, err := perspectron.LoadClassifier(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := perspectron.AttackByName(*name, *channel)
+	if w == nil {
+		for _, b := range perspectron.BenignWorkloads() {
+			if b.Info().Name == *name {
+				w = b
+			}
+		}
+	}
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	res, err := c.Classify(w, *insts, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s\nclass:    %s (%.0f%% of intervals)\nvotes:    %v\n",
+		res.Workload, res.Class, res.Confidence*100, res.Votes)
+}
+
+func cmdList() {
+	fmt.Println("attacks:")
+	for _, a := range perspectron.AttackWorkloads() {
+		i := a.Info()
+		fmt.Printf("  %-20s category=%s channel=%s\n", i.Name, i.Category, i.Channel)
+	}
+	fmt.Println("benign:")
+	for _, b := range perspectron.BenignWorkloads() {
+		fmt.Printf("  %s\n", b.Info().Name)
+	}
+}

@@ -1,0 +1,68 @@
+package perspectron_test
+
+import (
+	"fmt"
+	"log"
+
+	"perspectron"
+)
+
+// quickOptions keeps the examples fast.
+func quickOptions() perspectron.Options {
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = 80_000
+	opts.Runs = 1
+	return opts
+}
+
+// ExampleTrain shows the basic train-and-monitor loop.
+func ExampleTrain() {
+	det, err := perspectron.Train(perspectron.TrainingWorkloads(), quickOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := det.Monitor(perspectron.AttackByName("flush+reload", ""), 50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("features:", det.NumFeatures())
+	fmt.Println("detected:", rep.Detected)
+	// Output:
+	// features: 106
+	// detected: true
+}
+
+// ExampleDetector_MonitorWithPolicy shows the §IV-G deployment loop: the
+// detector's confidence drives real hardware mitigations online.
+func ExampleDetector_MonitorWithPolicy() {
+	det, err := perspectron.Train(perspectron.TrainingWorkloads(), quickOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := perspectron.EscalationPolicy(0.25, 0.6, perspectron.MitigateFence)
+	rep, err := det.MonitorWithPolicy(perspectron.AttackByName("spectreV1", "fr"), 50_000, 1, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("detected:", rep.Detected)
+	fmt.Println("channel closed:", rep.SpecLoadsBlocked > 0)
+	// Output:
+	// detected: true
+	// channel closed: true
+}
+
+// ExampleTrainClassifier shows the multi-way mode naming an attack's
+// category.
+func ExampleTrainClassifier() {
+	cls, err := perspectron.TrainClassifier(perspectron.TrainingWorkloads(), quickOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cls.Classify(perspectron.AttackByName("prime+probe", ""), 50_000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("class:", res.Class)
+	// Output:
+	// class: prime_probe
+}

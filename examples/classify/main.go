@@ -1,0 +1,48 @@
+// Classify: the paper's multi-way mode (§VII-B) — beyond the binary
+// benign/suspicious verdict, a one-vs-rest perceptron bank names the attack
+// *category*, so the OS can choose a category-appropriate mitigation
+// (fences for Spectre-class, cache re-randomization for Prime+Probe-class).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"perspectron"
+)
+
+func main() {
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = 200_000
+	opts.Runs = 1
+
+	fmt.Println("training the multi-way classifier...")
+	cls, err := perspectron.TrainClassifier(perspectron.TrainingWorkloads(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classes: %v\n\n", cls.Classes)
+
+	subjects := []perspectron.Workload{
+		perspectron.AttackByName("spectreRSB", "fr"),
+		perspectron.AttackByName("flush+flush", ""),
+		perspectron.AttackByName("prime+probe", ""),
+		perspectron.AttackByName("meltdown", "fr"),
+		perspectron.BenignWorkloads()[2], // mcf: memory-intensive control
+	}
+	for _, w := range subjects {
+		res, err := cls.Classify(w, 100_000, 17)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s -> %-16s (%.0f%% of intervals)\n",
+			res.Workload, res.Class, res.Confidence*100)
+		var votes []string
+		for class, n := range res.Votes {
+			votes = append(votes, fmt.Sprintf("%s:%d", class, n))
+		}
+		sort.Strings(votes)
+		fmt.Printf("                 votes: %v\n", votes)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a PerSpectron detector on the built-in workload corpus,
+// then monitor one attack and one benign program and print the verdicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perspectron"
+)
+
+func main() {
+	// Train on the full corpus (all attacks + SPEC-like benign kernels).
+	// Options mirror the paper's best configuration: 10K-instruction
+	// sampling, 106 selected features, threshold 0.25.
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = 200_000 // keep the example fast
+	opts.Runs = 1
+
+	fmt.Println("training PerSpectron...")
+	det, err := perspectron.Train(perspectron.TrainingWorkloads(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := det.Hardware()
+	fmt.Printf("trained: %d features, %d-cycle serial-adder inference, %.2f µs sampling\n\n",
+		det.NumFeatures(), h.InferenceCycles(), h.SamplingIntervalUs())
+
+	// Monitor a Spectre attack: the detector should flag it before the
+	// first byte leaks.
+	attack := perspectron.AttackByName("spectreV1", "fr")
+	rep, err := det.Monitor(attack, 100_000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+
+	// Monitor a benign compression kernel: it must stay quiet.
+	var benign perspectron.Workload
+	for _, w := range perspectron.BenignWorkloads() {
+		if w.Info().Name == "bzip2" {
+			benign = w
+		}
+	}
+	rep, err = det.Monitor(benign, 100_000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+}
+
+func printReport(rep *perspectron.Report) {
+	fmt.Printf("%s (malicious=%v):\n", rep.Workload, rep.Malicious)
+	for _, s := range rep.Samples {
+		bar := ""
+		n := int((s.Score + 1) * 20)
+		for i := 0; i < n; i++ {
+			bar += "#"
+		}
+		flag := ""
+		if s.Flagged {
+			flag = "  <- flagged"
+		}
+		fmt.Printf("  %7d insts  %+.3f %-40s%s\n", s.Insts, s.Score, bar, flag)
+	}
+	if rep.Detected {
+		fmt.Printf("  => DETECTED at sample %d\n\n", rep.FirstFlag)
+	} else {
+		fmt.Printf("  => clean\n\n")
+	}
+}

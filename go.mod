@@ -1,0 +1,3 @@
+module perspectron
+
+go 1.22

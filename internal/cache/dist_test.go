@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"testing"
+
+	"perspectron/internal/stats"
+)
+
+func TestMissLatencyDistPopulates(t *testing.T) {
+	c := newTestCache(t)
+	for i := 0; i < 20; i++ {
+		c.Access(uint64(i)<<12, false, false, uint64(i)*10)
+	}
+	var mass float64
+	for _, b := range c.C.MissLatencyDist {
+		mass += b.Value()
+	}
+	if mass != 20 {
+		t.Fatalf("miss latency histogram mass = %v, want 20", mass)
+	}
+}
+
+func TestMSHROccDistPopulates(t *testing.T) {
+	c := newTestCache(t)
+	// Parallel misses at the same cycle pile occupancy into higher buckets.
+	for i := 0; i < 6; i++ {
+		c.Access(uint64(i)<<12, false, false, 0)
+	}
+	high := 0.0
+	for i := 2; i < len(c.C.MSHROccDist); i++ {
+		high += c.C.MSHROccDist[i].Value()
+	}
+	if high == 0 {
+		t.Fatalf("MSHR occupancy never exceeded 1 during a parallel burst")
+	}
+}
+
+func TestBusPktSizeDist(t *testing.T) {
+	reg := stats.NewRegistry()
+	b := NewBus("membus", 2, 64, reg)
+	reg.Seal()
+	b.Send(TransReadReq, 0x1000, 64) // request + response
+	b.Send(TransCleanEvict, 0x2000, 0)
+	var mass float64
+	for _, c := range b.PktSizeDist {
+		mass += c.Value()
+	}
+	if mass != 3 {
+		t.Fatalf("pkt size histogram mass = %v, want 3", mass)
+	}
+	// Zero-byte and 64-byte packets land in different buckets.
+	if b.PktSizeDist[0].Value() == 0 {
+		t.Fatalf("zero-size packet bucket empty")
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		n    int
+		want int
+	}{
+		{0, 8, 0}, {1, 8, 0}, {2, 8, 1}, {3, 8, 1}, {4, 8, 2},
+		{1 << 20, 8, 7}, // clamps to top bucket
+	}
+	for _, c := range cases {
+		if got := log2Bucket(c.v, c.n); got != c.want {
+			t.Fatalf("log2Bucket(%d,%d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package eval implements the paper's evaluation machinery: detection
+// metrics, ROC/AUC construction (Fig. 5), and the 3-fold attack-holdout
+// cross-validation of Table III, in which every fold removes entire attack
+// categories (and their samples) from training and — following §VI-B —
+// pairs test attacks with a different disclosure channel than the training
+// attacks use.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// Metrics summarizes binary detection outcomes. Positive = malicious.
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Add folds another confusion outcome in.
+func (m *Metrics) Add(predictedPositive, actuallyPositive bool) {
+	switch {
+	case predictedPositive && actuallyPositive:
+		m.TP++
+	case predictedPositive && !actuallyPositive:
+		m.FP++
+	case !predictedPositive && actuallyPositive:
+		m.FN++
+	default:
+		m.TN++
+	}
+}
+
+// Total returns the number of scored samples.
+func (m Metrics) Total() int { return m.TP + m.FP + m.TN + m.FN }
+
+// Accuracy returns (TP+TN)/total.
+func (m Metrics) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall (true-positive rate) returns TP/(TP+FN).
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// FPR returns FP/(FP+TN).
+func (m Metrics) FPR() float64 {
+	if m.FP+m.TN == 0 {
+		return 0
+	}
+	return float64(m.FP) / float64(m.FP+m.TN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Score evaluates detection at a fixed threshold: scores[i] >= threshold
+// flags sample i; y[i] > 0 marks it actually malicious.
+func Score(scores, y []float64, threshold float64) Metrics {
+	var m Metrics
+	for i, s := range scores {
+		m.Add(s >= threshold, y[i] > 0)
+	}
+	return m
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC sweeps every distinct score as a threshold and returns the curve
+// ordered by increasing FPR (with the (0,0) and (1,1) endpoints).
+func ROC(scores, y []float64) []ROCPoint {
+	type sy struct {
+		s   float64
+		pos bool
+	}
+	all := make([]sy, len(scores))
+	var nPos, nNeg float64
+	for i, s := range scores {
+		all[i] = sy{s, y[i] > 0}
+		if y[i] > 0 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+
+	points := []ROCPoint{{Threshold: math.Inf(1)}}
+	var tp, fp float64
+	for i := 0; i < len(all); {
+		thr := all[i].s
+		for i < len(all) && all[i].s == thr {
+			if all[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		pt := ROCPoint{Threshold: thr}
+		if nPos > 0 {
+			pt.TPR = tp / nPos
+		}
+		if nNeg > 0 {
+			pt.FPR = fp / nNeg
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// AUC integrates a ROC curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	var a float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		a += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return a
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// Confidence95 returns the half-width of a 95% normal confidence band
+// (1.96σ), the form the paper reports accuracies in (mean ± band).
+func Confidence95(xs []float64) float64 {
+	_, std := MeanStd(xs)
+	return 1.96 * std
+}

@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md): Fig. 1
+// information hops, Table I feature groups, Table II configuration, Table
+// III attack-holdout CV with the §VI-B generalization numbers, Table IV
+// model × feature-set comparison, Fig. 3 polymorphic evasion, Fig. 4
+// bandwidth-reduction evasion, Fig. 5 ROC over sampling granularities, the
+// §VI-A2 timing argument, and the §VII-C weight interpretation.
+//
+// Each experiment returns a structured result with a Render method; the
+// cmd/experiments binary and the repository benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"perspectron/internal/features"
+	"perspectron/internal/trace"
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/attacks"
+	"perspectron/internal/workload/benign"
+)
+
+// Config scales every experiment.
+type Config struct {
+	Seed     int64
+	MaxInsts uint64 // committed-path ops per program run
+	Runs     int    // runs per program
+	Interval uint64 // sampling granularity
+}
+
+// DefaultConfig is the full-scale setting used by cmd/experiments.
+func DefaultConfig() Config {
+	return Config{Seed: 1, MaxInsts: 300_000, Runs: 2, Interval: 10_000}
+}
+
+// QuickConfig is a reduced setting for benchmarks and smoke tests.
+func QuickConfig() Config {
+	return Config{Seed: 1, MaxInsts: 100_000, Runs: 1, Interval: 10_000}
+}
+
+// CoreCorpus returns the unmodified-attack workload set: all attacks
+// (default channels plus pp-channel variants of the speculative attacks,
+// for the §VI-B channel pairing) and the benign kernels. The evasion
+// experiments (Figs. 3–4) train on this corpus so no evasion variant is
+// ever seen in training.
+func CoreCorpus() []workload.Program {
+	progs := append([]workload.Program{}, benign.All()...)
+	progs = append(progs, attacks.TrainingSet()...)
+	for _, cat := range []string{"spectre_v1", "spectre_v2", "spectre_rsb", "meltdown", "cacheout"} {
+		progs = append(progs, attacks.WithChannel(cat, "pp"))
+	}
+	return progs
+}
+
+// BaseCorpus returns the dataset used for the headline accuracy numbers.
+// It equals the core corpus: bandwidth-reduced and polymorphic variants are
+// evaluated separately (Table IV's FN columns, Figs. 3–4) because their
+// quiet filler intervals make sample-level labels ambiguous — the paper
+// likewise reports them as pre/post-leakage coverage, not accuracy.
+func BaseCorpus() []workload.Program { return CoreCorpus() }
+
+func collect(progs []workload.Program, cfg Config) *trace.Dataset {
+	return trace.Collect(progs, trace.CollectConfig{
+		MaxInsts: cfg.MaxInsts,
+		Interval: cfg.Interval,
+		Seed:     cfg.Seed,
+		Runs:     cfg.Runs,
+	})
+}
+
+// BaseDataset collects the base corpus at cfg's granularity.
+func BaseDataset(cfg Config) *trace.Dataset { return collect(BaseCorpus(), cfg) }
+
+// Prepared bundles a dataset with its encoder and PerSpectron selection —
+// the shared front half of most experiments.
+type Prepared struct {
+	DS  *trace.Dataset
+	Enc *trace.Encoder
+	Sel features.Selection
+}
+
+// Prepare collects the base dataset and runs feature selection on it.
+func Prepare(cfg Config) *Prepared { return prepare(BaseDataset(cfg)) }
+
+// PrepareCore is Prepare over the evasion-free core corpus.
+func PrepareCore(cfg Config) *Prepared { return prepare(collect(CoreCorpus(), cfg)) }
+
+func prepare(ds *trace.Dataset) *Prepared {
+	enc := trace.NewEncoder(ds)
+	X, y := enc.Matrix(ds)
+	sel := features.Select(X, y, ds.Components, features.DefaultSelectConfig())
+	return &Prepared{DS: ds, Enc: enc, Sel: sel}
+}
+
+// table renders rows as fixed-width text with a header underline.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// sparkline renders a score series as a compact unicode strip chart.
+func sparkline(vals []float64, lo, hi float64) string {
+	const ramp = " ▁▂▃▄▅▆▇█"
+	runes := []rune(ramp)
+	var b strings.Builder
+	for _, v := range vals {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		b.WriteRune(runes[int(f*float64(len(runes)-1))])
+	}
+	return b.String()
+}

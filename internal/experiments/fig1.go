@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"perspectron/internal/sim"
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/attacks"
+	"perspectron/internal/workload/benign"
+)
+
+// fig1Counters are the input dimensions of the paper's Fig. 1: information
+// about each attack "hops" between them, motivating replicated detectors.
+var fig1Counters = []string{
+	"membus.trans_dist::ReadResp",
+	"commit.NonSpecStalls",
+	"fetch.PendingQuiesceStallCycles",
+	"tol2bus.trans_dist::CleanEvict",
+	"branchPred.RASInCorrect",
+	"branchPred.indirectMispredicted",
+	"iq.NonSpecInstsAdded",
+	"lsq.thread0.squashedLoads",
+}
+
+// Fig1Row is one program's normalized footprint across the Fig. 1
+// dimensions.
+type Fig1Row struct {
+	Program string
+	Label   workload.Label
+	Values  []float64 // normalized to the corpus maximum per counter
+	Bits    []int     // the paper's k-sparse representation (>= 0.5)
+}
+
+// Fig1Result regenerates Fig. 1.
+type Fig1Result struct {
+	Counters []string
+	Rows     []Fig1Row
+}
+
+// Fig1 runs the five attacks of the paper's figure plus a safe program and
+// reports each one's footprint across the eight dimensions.
+func Fig1(cfg Config) *Fig1Result {
+	progs := []workload.Program{
+		attacks.SpectreRSB("fr"),
+		attacks.Meltdown("fr"),
+		attacks.FlushFlush(),
+		attacks.FlushReload(),
+		attacks.PrimeProbe(),
+		benign.Bzip2(),
+	}
+
+	raw := make([][]float64, len(progs))
+	for pi, p := range progs {
+		m := sim.NewMachine(sim.DefaultConfig())
+		m.Run(p.Stream(rand.New(rand.NewSource(cfg.Seed))), cfg.MaxInsts, cfg.Interval)
+		vals := make([]float64, len(fig1Counters))
+		for ci, name := range fig1Counters {
+			c, ok := m.Reg.Lookup(name)
+			if !ok {
+				panic("fig1: missing counter " + name)
+			}
+			vals[ci] = c.Value()
+		}
+		raw[pi] = vals
+	}
+
+	// Normalize per counter to the corpus maximum.
+	maxes := make([]float64, len(fig1Counters))
+	for _, vals := range raw {
+		for ci, v := range vals {
+			if v > maxes[ci] {
+				maxes[ci] = v
+			}
+		}
+	}
+	res := &Fig1Result{Counters: fig1Counters}
+	for pi, p := range progs {
+		row := Fig1Row{Program: p.Info().Name, Label: p.Info().Label}
+		for ci, v := range raw[pi] {
+			n := 0.0
+			if maxes[ci] > 0 {
+				n = v / maxes[ci]
+			}
+			row.Values = append(row.Values, n)
+			bit := 0
+			if n >= 0.5 {
+				bit = 1
+			}
+			row.Bits = append(row.Bits, bit)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the figure as a table of normalized values plus the
+// k-sparse signature vectors.
+func (r *Fig1Result) Render() string {
+	short := make([]string, len(r.Counters))
+	for i, c := range r.Counters {
+		parts := strings.Split(c, ".")
+		short[i] = parts[len(parts)-1]
+		if len(short[i]) > 18 {
+			short[i] = short[i][:18]
+		}
+	}
+	header := append([]string{"program", "class"}, short...)
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{row.Program, row.Label.String()}
+		for _, v := range row.Values {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		rows = append(rows, cells)
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 1 — information hops between input dimensions\n")
+	b.WriteString("(per-counter values normalized to the corpus maximum)\n\n")
+	b.WriteString(table(header, rows))
+	b.WriteString("\nk-sparse signatures (bit = value >= 0.5):\n")
+	for _, row := range r.Rows {
+		bits := make([]string, len(row.Bits))
+		for i, v := range row.Bits {
+			bits[i] = fmt.Sprint(v)
+		}
+		fmt.Fprintf(&b, "  %-14s <%s>\n", row.Program, strings.Join(bits, ","))
+	}
+	return b.String()
+}
+
+// DistinctSignatures reports whether every malicious row's bit vector
+// differs from the safe program's — the property the paper's example
+// vectors illustrate.
+func (r *Fig1Result) DistinctSignatures() bool {
+	var safe []int
+	for _, row := range r.Rows {
+		if row.Label == workload.Benign {
+			safe = row.Bits
+		}
+	}
+	if safe == nil {
+		return false
+	}
+	for _, row := range r.Rows {
+		if row.Label == workload.Benign {
+			continue
+		}
+		same := true
+		for i := range row.Bits {
+			if row.Bits[i] != safe[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,344 @@
+// Package features implements the paper's feature-selection pipeline
+// (§IV-B): Pearson correlation over the full counter space, grouping of
+// closely correlated features (|c| > 0.98), decorrelation *within* a
+// pipeline component while deliberately keeping correlated replicas in
+// *different* components (replicated detectors), and a greedy per-component
+// selection by mutual information with the class, down to the paper's 106
+// features.
+//
+// It also provides the MAP-style committed-state feature subset used as the
+// prior-work baseline in Table IV.
+package features
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"perspectron/internal/stats"
+)
+
+// Moments holds per-feature mean and standard deviation over a sample set.
+type Moments struct {
+	Mean, Std []float64
+}
+
+// ComputeMoments returns the column-wise moments of X.
+func ComputeMoments(X [][]float64) Moments {
+	n := len(X)
+	if n == 0 {
+		return Moments{}
+	}
+	f := len(X[0])
+	mean := make([]float64, f)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	std := make([]float64, f)
+	for _, row := range X {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+	}
+	return Moments{Mean: mean, Std: std}
+}
+
+// Pearson computes the correlation between columns a and b of X given
+// precomputed moments. Zero-variance columns correlate as 0.
+func Pearson(X [][]float64, m Moments, a, b int) float64 {
+	if m.Std[a] == 0 || m.Std[b] == 0 {
+		return 0
+	}
+	var s float64
+	for _, row := range X {
+		s += (row[a] - m.Mean[a]) * (row[b] - m.Mean[b])
+	}
+	return s / (float64(len(X)) * m.Std[a] * m.Std[b])
+}
+
+// ClassCorrelation returns, for every feature, the Pearson correlation with
+// the ±1 class labels.
+func ClassCorrelation(X [][]float64, y []float64) []float64 {
+	m := ComputeMoments(X)
+	n := len(X)
+	var ym, ys float64
+	for _, v := range y {
+		ym += v
+	}
+	ym /= float64(n)
+	for _, v := range y {
+		ys += (v - ym) * (v - ym)
+	}
+	ys = math.Sqrt(ys / float64(n))
+	out := make([]float64, len(m.Mean))
+	if ys == 0 {
+		return out
+	}
+	for j := range out {
+		if m.Std[j] == 0 {
+			continue
+		}
+		var s float64
+		for i, row := range X {
+			s += (row[j] - m.Mean[j]) * (y[i] - ym)
+		}
+		out[j] = s / (float64(n) * m.Std[j] * ys)
+	}
+	return out
+}
+
+// MutualInformation returns, per feature, the mutual information (in bits)
+// between the binarized feature (threshold 0.5) and the class.
+func MutualInformation(X [][]float64, y []float64) []float64 {
+	n := len(X)
+	if n == 0 {
+		return nil
+	}
+	f := len(X[0])
+	out := make([]float64, f)
+	var nPos float64
+	for _, v := range y {
+		if v > 0 {
+			nPos++
+		}
+	}
+	pY1 := nPos / float64(n)
+	for j := 0; j < f; j++ {
+		var c11, c10, c01, c00 float64
+		for i, row := range X {
+			x1 := row[j] >= 0.5
+			y1 := y[i] > 0
+			switch {
+			case x1 && y1:
+				c11++
+			case x1 && !y1:
+				c10++
+			case !x1 && y1:
+				c01++
+			default:
+				c00++
+			}
+		}
+		pX1 := (c11 + c10) / float64(n)
+		mi := 0.0
+		add := func(c, px, py float64) {
+			if c == 0 || px == 0 || py == 0 {
+				return
+			}
+			p := c / float64(n)
+			mi += p * math.Log2(p/(px*py))
+		}
+		add(c11, pX1, pY1)
+		add(c10, pX1, 1-pY1)
+		add(c01, 1-pX1, pY1)
+		add(c00, 1-pX1, 1-pY1)
+		out[j] = mi
+	}
+	return out
+}
+
+// Group is one set of mutually correlated features (Table I column).
+type Group struct {
+	Members []int // feature indices, ranked by |class correlation| desc
+}
+
+// CorrelationGroups clusters features whose pairwise |Pearson| exceeds
+// threshold, using single-linkage over the features with non-zero variance.
+// Groups are returned largest-first; members are ranked by class
+// correlation, matching Table I's presentation.
+func CorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
+	m := ComputeMoments(X)
+	f := len(m.Mean)
+	parent := make([]int, f)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	active := make([]int, 0, f)
+	for j := 0; j < f; j++ {
+		if m.Std[j] > 0 {
+			active = append(active, j)
+		}
+	}
+	for ai, a := range active {
+		for _, b := range active[ai+1:] {
+			if math.Abs(Pearson(X, m, a, b)) >= threshold {
+				union(a, b)
+			}
+		}
+	}
+
+	byRoot := map[int][]int{}
+	for _, j := range active {
+		r := find(j)
+		byRoot[r] = append(byRoot[r], j)
+	}
+	cc := ClassCorrelation(X, y)
+	var groups []Group
+	for _, members := range byRoot {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, k int) bool {
+			return math.Abs(cc[members[i]]) > math.Abs(cc[members[k]])
+		})
+		groups = append(groups, Group{Members: members})
+	}
+	sort.Slice(groups, func(i, k int) bool {
+		if len(groups[i].Members) != len(groups[k].Members) {
+			return len(groups[i].Members) > len(groups[k].Members)
+		}
+		return groups[i].Members[0] < groups[k].Members[0]
+	})
+	return groups
+}
+
+// SelectConfig parameterizes the PerSpectron selection algorithm.
+type SelectConfig struct {
+	// GroupThreshold is the |Pearson| above which two features are
+	// "closely correlated" (paper: 0.98).
+	GroupThreshold float64
+	// MaxFeatures is the selection budget m (paper: 106).
+	MaxFeatures int
+	// MinMI drops features carrying essentially no class information.
+	MinMI float64
+}
+
+// DefaultSelectConfig returns the paper's parameters.
+func DefaultSelectConfig() SelectConfig {
+	return SelectConfig{GroupThreshold: 0.98, MaxFeatures: 106, MinMI: 1e-4}
+}
+
+// Selection is the outcome of the PerSpectron algorithm.
+type Selection struct {
+	// Indices are the selected feature indices in pick order.
+	Indices []int
+	// Groups are the cross-component correlation groups found (Table I).
+	Groups []Group
+	// MI holds the per-feature mutual information used for ranking.
+	MI []float64
+}
+
+// Select runs the paper's three-step procedure over scaled features X with
+// labels y and per-feature component assignments comps:
+//
+//  1. correlate all features and form groups at GroupThreshold;
+//  2. within each component, keep only the most informative member of each
+//     group (decorrelation), while members of the same group in *other*
+//     components survive as replicated detectors;
+//  3. greedily pick features per component in round-robin order of mutual
+//     information until MaxFeatures.
+func Select(X [][]float64, y []float64, comps []stats.Component, cfg SelectConfig) Selection {
+	mi := MutualInformation(X, y)
+	groups := CorrelationGroups(X, y, cfg.GroupThreshold)
+
+	// Step 2: within-component decorrelation. For every (group, component)
+	// pair keep the member with the highest MI.
+	dropped := make([]bool, len(mi))
+	for _, g := range groups {
+		best := map[stats.Component]int{}
+		for _, j := range g.Members {
+			c := comps[j]
+			if b, ok := best[c]; !ok || mi[j] > mi[b] {
+				best[c] = j
+			}
+		}
+		for _, j := range g.Members {
+			if best[comps[j]] != j {
+				dropped[j] = true
+			}
+		}
+	}
+
+	// Step 3: per-component ranked banks, drained round-robin.
+	banks := make([][]int, stats.NumComponents)
+	for j := range mi {
+		if dropped[j] || mi[j] < cfg.MinMI {
+			continue
+		}
+		c := comps[j]
+		banks[c] = append(banks[c], j)
+	}
+	for c := range banks {
+		b := banks[c]
+		sort.Slice(b, func(i, k int) bool { return mi[b[i]] > mi[b[k]] })
+	}
+
+	var picked []int
+	for len(picked) < cfg.MaxFeatures {
+		progress := false
+		for c := range banks {
+			if len(banks[c]) == 0 {
+				continue
+			}
+			picked = append(picked, banks[c][0])
+			banks[c] = banks[c][1:]
+			progress = true
+			if len(picked) >= cfg.MaxFeatures {
+				break
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return Selection{Indices: picked, Groups: groups, MI: mi}
+}
+
+// MAPFeatures returns the indices of the committed-state features a
+// MAP-style malware detector monitors (instruction-class mix, architectural
+// memory/branch counts, L1 access totals) — the prior-work baseline feature
+// set of Table IV.
+func MAPFeatures(names []string) []int {
+	var idx []int
+	for j, n := range names {
+		switch {
+		case strings.HasPrefix(n, "commit.op_class_0::"),
+			n == "commit.committedInsts",
+			n == "commit.branches",
+			n == "commit.loads",
+			n == "commit.stores",
+			n == "commit.branchMispredicts",
+			n == "icache.overall_accesses",
+			n == "icache.overall_misses",
+			n == "dcache.overall_accesses",
+			n == "dcache.overall_misses",
+			n == "dcache.overall_hits":
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// CrossComponentGroups filters groups down to those spanning at least two
+// components — the replicated-detector groups Table I presents.
+func CrossComponentGroups(groups []Group, comps []stats.Component) []Group {
+	var out []Group
+	for _, g := range groups {
+		seen := map[stats.Component]bool{}
+		for _, j := range g.Members {
+			seen[comps[j]] = true
+		}
+		if len(seen) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,921 @@
+// Package pipeline implements a cycle-accounting out-of-order core model in
+// the style of gem5's O3CPU, configured per the paper's Table II: 8-wide
+// fetch/dispatch/issue/commit, 192-entry ROB, 32-entry load and store
+// queues, 256 physical integer and float registers, a tournament branch
+// predictor, and TLBs whose permission faults are deferred to commit.
+//
+// The model is instruction-stepped rather than strictly cycle-stepped: each
+// committed-path op flows through fetch → decode → rename → issue/execute →
+// commit bookkeeping in one step, while a reorder-window model with
+// completion timestamps produces realistic occupancy, stall, and squash
+// *cycle* accounting. Mispredicted control flow and faulting loads execute
+// their transient bodies against the real cache hierarchy before being
+// squashed — which is exactly the footprint PerSpectron detects.
+package pipeline
+
+import (
+	"perspectron/internal/branch"
+	"perspectron/internal/isa"
+	"perspectron/internal/tlb"
+)
+
+// MemSystem is the data/instruction memory interface the pipeline drives
+// (implemented by the cache hierarchy via internal/sim).
+type MemSystem interface {
+	FetchInst(pc uint64, cycle uint64) uint64
+	ReadData(addr uint64, shared bool, cycle uint64) uint64
+	WriteData(addr uint64, cycle uint64) uint64
+	Flush(addr uint64, cycle uint64) (present bool, lat uint64)
+	ReadLFB(cycle uint64) bool
+}
+
+// Config holds the core parameters (Table II).
+type Config struct {
+	Width            int
+	ROBEntries       int
+	LQEntries        int
+	SQEntries        int
+	NumPhysIntRegs   int
+	NumPhysFloatRegs int
+	SquashPenalty    uint64
+	TrapLatency      uint64
+	L1IHitLatency    uint64
+}
+
+// DefaultConfig returns the Table II configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:            8,
+		ROBEntries:       192,
+		LQEntries:        32,
+		SQEntries:        32,
+		NumPhysIntRegs:   256,
+		NumPhysFloatRegs: 256,
+		SquashPenalty:    8,
+		TrapLatency:      40,
+		L1IHitLatency:    2,
+	}
+}
+
+// inflight is one window (ROB) entry.
+type inflight struct {
+	class   isa.OpClass
+	done    uint64
+	isLoad  bool
+	isStore bool
+	line    uint64
+	nonSpec bool
+	misp    bool // mispredicted control
+}
+
+// fuPools maps op classes onto functional unit pools.
+var fuPoolOf = func() [isa.NumOpClasses]int {
+	var m [isa.NumOpClasses]int
+	for c := isa.OpClass(0); c < isa.NumOpClasses; c++ {
+		switch c {
+		case isa.IntMult, isa.IntDiv:
+			m[c] = 1
+		case isa.FloatAdd, isa.FloatCmp, isa.FloatCvt, isa.FloatMult,
+			isa.FloatDiv, isa.FloatSqrt:
+			m[c] = 2
+		case isa.SimdAdd, isa.SimdAlu, isa.SimdCmp, isa.SimdCvt,
+			isa.SimdMisc, isa.SimdMult, isa.SimdShift, isa.SimdFloatAdd,
+			isa.SimdFloatMult:
+			m[c] = 3
+		case isa.MemRead, isa.FloatMemRead, isa.InstPrefetch:
+			m[c] = 4
+		case isa.MemWrite, isa.FloatMemWrite:
+			m[c] = 5
+		default:
+			m[c] = 0
+		}
+	}
+	return m
+}()
+
+var fuPoolSizes = [6]int{6, 2, 4, 4, 4, 4}
+
+// execLatency is the fixed execute latency per class; memory classes take
+// the cache latency instead.
+var execLatency = func() [isa.NumOpClasses]uint64 {
+	var l [isa.NumOpClasses]uint64
+	for c := isa.OpClass(0); c < isa.NumOpClasses; c++ {
+		l[c] = 1
+	}
+	l[isa.IntMult] = 3
+	l[isa.IntDiv] = 12
+	l[isa.FloatAdd] = 2
+	l[isa.FloatCmp] = 2
+	l[isa.FloatCvt] = 2
+	l[isa.FloatMult] = 4
+	l[isa.FloatDiv] = 12
+	l[isa.FloatSqrt] = 20
+	for c := isa.SimdAdd; c <= isa.SimdFloatMult; c++ {
+		l[c] = 3
+	}
+	return l
+}()
+
+type memRef struct {
+	line uint64
+	done uint64
+}
+
+// Pipeline is the core model.
+type Pipeline struct {
+	cfg Config
+	C   Counters
+
+	Mem MemSystem
+	BP  *branch.Predictor
+	ITB *tlb.TLB
+	DTB *tlb.TLB
+
+	// OnCommit is invoked with 1 for every committed instruction; the
+	// machine hooks the stats sampler here.
+	OnCommit func(n uint64)
+
+	// fencing enables the §IV-G1 context-sensitive-fencing mitigation:
+	// injected fences at control-flow targets block speculative loads
+	// (transient bodies execute no memory accesses) at a per-branch
+	// serialization cost.
+	fencing bool
+
+	cycle     uint64
+	sub       int // ops dispatched in the current cycle
+	committed uint64
+
+	window []inflight
+	head   int
+	lq, sq int
+
+	fu [6][]uint64 // next-free cycle per FU
+
+	prevDone      uint64
+	lastFetchLine uint64
+	lastFetchPage uint64
+
+	recentStores  []memRef
+	recentLoads   []memRef
+	pendingStores []memRef // address-delayed stores (SpectreV4 window)
+
+	opsSinceHist int
+	lastHistCyc  uint64
+	lastHistInst uint64
+}
+
+// New constructs a pipeline with counters registered in reg. Wire Mem, BP,
+// ITB, DTB before Run.
+func New(cfg Config, c Counters) *Pipeline {
+	p := &Pipeline{cfg: cfg, C: c, lastFetchLine: ^uint64(0), lastFetchPage: ^uint64(0)}
+	for i := range p.fu {
+		p.fu[i] = make([]uint64, fuPoolSizes[i])
+	}
+	return p
+}
+
+// SetFencing toggles the context-sensitive-fencing mitigation.
+func (p *Pipeline) SetFencing(on bool) { p.fencing = on }
+
+// Fencing reports whether the fencing mitigation is active.
+func (p *Pipeline) Fencing() bool { return p.fencing }
+
+// Cycle returns the current cycle.
+func (p *Pipeline) Cycle() uint64 { return p.cycle }
+
+// Committed returns committed instructions so far.
+func (p *Pipeline) Committed() uint64 { return p.committed }
+
+// Run executes the stream until it ends or maxInsts committed-path
+// instructions have been fetched (all fetched instructions then drain and
+// commit).
+func (p *Pipeline) Run(stream isa.Stream, maxInsts uint64) uint64 {
+	start := p.committed
+	var fetched uint64
+	for maxInsts == 0 || fetched < maxInsts {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		fetched++
+		p.Step(&op)
+	}
+	p.drain()
+	return p.committed - start
+}
+
+// Step processes one committed-path op through the whole pipeline model.
+func (p *Pipeline) Step(op *isa.Op) {
+	if op.Class == isa.NoOpClass && op.Kind != isa.KindNop && op.Kind != isa.KindQuiesce &&
+		op.Kind != isa.KindFlush && op.Kind != isa.KindFence && op.Kind != isa.KindSerialize {
+		op.Class = isa.DefaultClass(op.Kind)
+	}
+
+	p.fetch(op)
+	p.decode(op)
+
+	misp := p.predict(op)
+
+	p.rename(op)
+	done, faulted := p.execute(op)
+
+	if misp || faulted {
+		p.transientAndSquash(op, faulted)
+		if faulted {
+			// Trap at commit: drain and pay the trap latency.
+			p.drain()
+			p.C.Fetch.PendingTrapStallCycles.Add(float64(p.cfg.TrapLatency))
+			p.C.Commit.Traps.Inc()
+			p.cycle += p.cfg.TrapLatency
+			done = p.cycle
+		}
+	}
+
+	p.dispatchToWindow(op, done, misp)
+	p.retireReady()
+	p.advance()
+	p.histograms()
+}
+
+// fetch models instruction delivery.
+func (p *Pipeline) fetch(op *isa.Op) {
+	fc := &p.C.Fetch
+
+	if op.Kind == isa.KindQuiesce {
+		w := op.WaitCycles
+		if w == 0 {
+			w = 16
+		}
+		fc.PendingQuiesceStallCycles.Add(float64(w))
+		fc.IdleCycles.Add(float64(w))
+		p.C.Decode.IdleCycles.Add(float64(w))
+		p.C.Rename.IdleCycles.Add(float64(w))
+		p.cycle += w
+	}
+
+	line := op.PC >> 6
+	if line != p.lastFetchLine {
+		sequential := line == p.lastFetchLine+1
+		p.lastFetchLine = line
+		fc.CacheLines.Inc()
+		lat := p.Mem.FetchInst(op.PC, p.cycle)
+		if lat > p.cfg.L1IHitLatency {
+			extra := lat - p.cfg.L1IHitLatency
+			if sequential {
+				// The next-line prefetcher has this fill in flight;
+				// sequential streams hide most of the miss.
+				extra /= 8
+			}
+			fc.IcacheStallCycles.Add(float64(extra))
+			p.cycle += extra
+		}
+		// Next-line prefetch: fill line+1 in the background.
+		p.Mem.FetchInst((line+1)<<6, p.cycle)
+	}
+	page := op.PC >> 12
+	if page != p.lastFetchPage {
+		p.lastFetchPage = page
+		res := p.ITB.Translate(op.PC, false)
+		if res.Latency > 1 {
+			fc.ItlbStallCycles.Add(float64(res.Latency - 1))
+			p.cycle += res.Latency - 1
+		}
+	}
+
+	fc.Insts.Inc()
+	if op.IsControl() {
+		fc.Branches.Inc()
+	}
+	fc.DynamicEnergy.Add(0.8)
+}
+
+// decode models the decode stage bookkeeping.
+func (p *Pipeline) decode(op *isa.Op) {
+	dc := &p.C.Decode
+	dc.DecodedInsts.Inc()
+	ops := 1.0
+	if op.IsMem() {
+		ops = 2 // address generation + access micro-ops
+	}
+	dc.DecodedOps.Add(ops)
+	dc.DynamicEnergy.Add(0.5)
+}
+
+// predict runs the branch prediction unit; it returns true when the op is a
+// mispredicted control instruction.
+func (p *Pipeline) predict(op *isa.Op) bool {
+	fc := &p.C.Fetch
+	switch op.Kind {
+	case isa.KindBranch:
+		fc.PredictedBranches.Inc()
+		correct := p.BP.PredictCond(op.PC, op.Taken)
+		if op.Taken {
+			p.BP.LookupBTB(op.PC, op.Target)
+		}
+		if !correct {
+			if op.Taken {
+				p.C.IEW.PredictedNotTakenIncorrect.Inc()
+			} else {
+				p.C.IEW.PredictedTakenIncorrect.Inc()
+			}
+		}
+		return !correct
+	case isa.KindCall:
+		p.BP.Call(op.PC + 4)
+		p.BP.LookupBTB(op.PC, op.Target)
+		return false
+	case isa.KindRet:
+		fc.PredictedBranches.Inc()
+		return !p.BP.Return(op.Target)
+	case isa.KindIndirect:
+		fc.PredictedBranches.Inc()
+		p.BP.LookupBTB(op.PC, op.Target)
+		return !p.BP.PredictIndirect(op.PC, op.Target)
+	}
+	return false
+}
+
+// rename models rename/dispatch back-pressure: window, LSQ, and physical
+// register availability, plus serialization.
+func (p *Pipeline) rename(op *isa.Op) {
+	rc := &p.C.Rename
+	rc.RenamedInsts.Inc()
+	rc.RenameLookups.Add(2)
+	rc.RenamedOperands.Add(2)
+	if op.Class >= isa.FloatAdd && op.Class <= isa.SimdFloatMult {
+		rc.FpLookups.Inc()
+	} else {
+		rc.IntLookups.Inc()
+	}
+	rc.DynamicEnergy.Add(0.6)
+
+	// Structural back-pressure: free a window slot, LQ/SQ slot, and a
+	// physical register by retiring the head when needed. The stall cycles
+	// propagate backwards to every earlier stage, the coupling the paper's
+	// replicated-feature argument builds on.
+	if p.windowLen() >= p.cfg.ROBEntries {
+		rc.ROBFullEvents.Inc()
+		p.C.ROB.FullEvents.Inc()
+		p.retireForSpace()
+	}
+	if op.Kind == isa.KindLoad && p.lq >= p.cfg.LQEntries {
+		rc.LQFullEvents.Inc()
+		p.retireForSpace()
+	}
+	if op.Kind == isa.KindStore && p.sq >= p.cfg.SQEntries {
+		rc.SQFullEvents.Inc()
+		p.retireForSpace()
+	}
+	if p.windowLen() >= p.cfg.NumPhysIntRegs-p.cfg.Width*4 {
+		rc.FullRegisterEvents.Inc()
+		p.retireForSpace()
+	}
+	if p.windowLen() >= 64 { // IQ capacity model
+		inIQ := 0
+		for i := p.head; i < len(p.window); i++ {
+			if p.window[i].done > p.cycle {
+				inIQ++
+			}
+		}
+		if inIQ >= 64 {
+			rc.IQFullEvents.Inc()
+			p.C.IQ.FullEvents.Inc()
+			p.retireForSpace()
+		}
+	}
+
+	if op.IsSerializing() {
+		rc.SerializingInsts.Inc()
+		if op.Kind == isa.KindFlush {
+			rc.TempSerializingInsts.Inc()
+		}
+		before := p.cycle
+		p.drain()
+		stall := p.cycle - before
+		rc.SerializeStallCycles.Add(float64(stall))
+		p.C.Commit.NonSpecStalls.Add(float64(stall) + 2)
+		p.C.IQ.NonSpecInstsAdded.Inc()
+		p.C.IEW.DispNonSpecInsts.Inc()
+	}
+}
+
+// execute computes the op's completion time, running real cache and TLB
+// accesses for memory ops. It returns the completion cycle and whether the
+// op faults at commit (Meltdown-style deferred fault).
+func (p *Pipeline) execute(op *isa.Op) (done uint64, faulted bool) {
+	iq := &p.C.IQ
+	iw := &p.C.IEW
+
+	ready := p.cycle
+	if op.DependsOnPrev && p.prevDone > ready {
+		ready = p.prevDone
+	}
+
+	// Functional unit acquisition.
+	pool := fuPoolOf[op.Class]
+	slot, at := p.acquireFU(pool, ready)
+	if at > ready {
+		iq.FuFull[op.Class].Inc()
+		iq.FuBusyCycles[op.Class].Add(float64(at - ready))
+		ready = at
+	}
+	p.fu[pool][slot] = ready + 1
+
+	iq.InstsAdded.Inc()
+	iq.InstsIssued.Inc()
+	iq.IssuedClass[op.Class].Inc()
+	iq.DynamicEnergy.Add(0.4)
+	iw.ExecutedInsts.Inc()
+	iw.DynamicEnergy.Add(0.7)
+
+	switch op.Kind {
+	case isa.KindLoad:
+		iw.ExecLoadInsts.Inc()
+		iw.DispLoadInsts.Inc()
+		p.C.MemDep.InsertedLoads.Inc()
+		p.lq++
+
+		res := p.DTB.Translate(op.Addr, false)
+		lat := res.Latency
+		if res.PermFault || res.PageFault {
+			faulted = true
+		}
+
+		line := op.Addr >> 6
+		if bypass, ok := p.bypassesPendingStore(line, ready); ok {
+			// SpectreV4: the load speculatively bypassed an older store
+			// with an unresolved address and read stale data. The
+			// transient body runs on the stale value, then the load is
+			// replayed after the store resolves.
+			p.C.IEW.MemOrderViolationEvents.Inc()
+			p.C.LSQ.MemOrderViolation.Inc()
+			p.C.LSQ.RescheduledLoads.Inc()
+			p.C.MemDep.DepsIncorrect.Inc()
+			if len(op.Transient) > 0 {
+				p.runTransient(op.Transient)
+				p.squash(len(op.Transient))
+			} else {
+				p.cycle += 6 // plain replay penalty
+				p.C.IEW.BlockCycles.Add(6)
+			}
+			done = max64(bypass, p.cycle) + 1
+			p.recordLoad(line, done)
+			p.prevDone = done
+			return done, faulted
+		}
+		if fwd, ok := p.forwardFromStore(line); ok {
+			p.C.LSQ.ForwLoads.Inc()
+			done = max64(ready+1, fwd)
+		} else if op.FBRead {
+			// MDS fill-buffer sample: no architectural cache access.
+			p.Mem.ReadLFB(ready)
+			done = ready + 4
+		} else {
+			memLat := p.Mem.ReadData(op.Addr, op.Shared, ready+lat)
+			done = ready + lat + memLat
+			if memLat > 20 {
+				p.C.LSQ.BlockedLoads.Inc()
+			}
+		}
+		p.recordLoad(line, done)
+
+	case isa.KindStore:
+		iw.ExecStoreInsts.Inc()
+		iw.DispStoreInsts.Inc()
+		p.C.MemDep.InsertedStores.Inc()
+		p.sq++
+
+		res := p.DTB.Translate(op.Addr, true)
+		if res.PermFault || res.PageFault {
+			faulted = true
+		}
+		line := op.Addr >> 6
+		p.checkViolation(line)
+		p.Mem.WriteData(op.Addr, ready+res.Latency)
+		done = ready + res.Latency + 1
+		if op.AddrDelayed {
+			// The store's address resolves late: it is invisible to
+			// store-to-load forwarding until done, opening the
+			// speculative-store-bypass window for younger loads.
+			done += 24 // address-generation dependence latency
+			p.recordPendingStore(line, done)
+		} else {
+			p.recordStore(line, done)
+		}
+
+	case isa.KindFlush:
+		_, lat := p.Mem.Flush(op.Addr, ready)
+		done = ready + lat
+		p.C.Commit.Membars.Inc()
+
+	case isa.KindFence, isa.KindSerialize:
+		done = ready + 2
+		p.C.Commit.Membars.Inc()
+
+	case isa.KindBranch, isa.KindCall, isa.KindRet, isa.KindIndirect:
+		iw.ExecBranches.Inc()
+		done = ready + execLatency[op.Class]
+		if p.fencing {
+			// Injected fence at the control-flow target serializes the
+			// following loads.
+			iw.FenceStallCycles.Add(2)
+			p.cycle += 2
+			done += 2
+		}
+
+	default:
+		done = ready + execLatency[op.Class]
+	}
+
+	p.prevDone = done
+	return done, faulted
+}
+
+// acquireFU returns the index and availability time of the earliest-free FU
+// in pool.
+func (p *Pipeline) acquireFU(pool int, ready uint64) (slot int, at uint64) {
+	fus := p.fu[pool]
+	best := 0
+	for i := 1; i < len(fus); i++ {
+		if fus[i] < fus[best] {
+			best = i
+		}
+	}
+	at = fus[best]
+	if at < ready {
+		at = ready
+	}
+	return best, at
+}
+
+// forwardFromStore reports whether line can be forwarded from an in-flight
+// store, returning the forward-ready cycle.
+func (p *Pipeline) forwardFromStore(line uint64) (uint64, bool) {
+	for i := len(p.recentStores) - 1; i >= 0; i-- {
+		if p.recentStores[i].line == line {
+			return p.recentStores[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// checkViolation detects a store arriving after a same-line load already
+// completed out of order: a memory-order violation with a replay.
+func (p *Pipeline) checkViolation(line uint64) {
+	for i := len(p.recentLoads) - 1; i >= 0; i-- {
+		l := p.recentLoads[i]
+		if l.line == line && l.done > p.cycle {
+			p.C.IEW.MemOrderViolationEvents.Inc()
+			p.C.LSQ.MemOrderViolation.Inc()
+			p.C.LSQ.RescheduledLoads.Inc()
+			p.C.MemDep.ConflictingStores.Inc()
+			p.C.MemDep.ConflictingLoads.Inc()
+			p.C.MemDep.DepsIncorrect.Inc()
+			p.cycle += 6 // replay penalty
+			p.C.IEW.BlockCycles.Add(6)
+			// Remove the violated record so one aliasing pair counts once.
+			p.recentLoads = append(p.recentLoads[:i], p.recentLoads[i+1:]...)
+			return
+		}
+	}
+	p.C.MemDep.DepsPredicted.Inc()
+}
+
+func (p *Pipeline) recordLoad(line, done uint64) {
+	p.recentLoads = append(p.recentLoads, memRef{line, done})
+	if len(p.recentLoads) > 32 {
+		p.recentLoads = p.recentLoads[1:]
+	}
+}
+
+func (p *Pipeline) recordStore(line, done uint64) {
+	p.recentStores = append(p.recentStores, memRef{line, done})
+	if len(p.recentStores) > 32 {
+		p.recentStores = p.recentStores[1:]
+	}
+}
+
+func (p *Pipeline) recordPendingStore(line, resolveAt uint64) {
+	p.pendingStores = append(p.pendingStores, memRef{line, resolveAt})
+	if len(p.pendingStores) > 32 {
+		p.pendingStores = p.pendingStores[1:]
+	}
+}
+
+// bypassesPendingStore reports whether a load to line at cycle ready slips
+// under an older address-delayed store; it returns the store's resolve time.
+func (p *Pipeline) bypassesPendingStore(line, ready uint64) (uint64, bool) {
+	for i := len(p.pendingStores) - 1; i >= 0; i-- {
+		s := p.pendingStores[i]
+		if s.line == line && s.done > ready {
+			p.pendingStores = append(p.pendingStores[:i], p.pendingStores[i+1:]...)
+			return s.done, true
+		}
+	}
+	return 0, false
+}
+
+// transientAndSquash executes the op's transient body against the real
+// memory system and then accounts the squash.
+func (p *Pipeline) transientAndSquash(op *isa.Op, faulted bool) {
+	body := op.Transient
+	if len(body) == 0 && !faulted {
+		// Generic wrong-path work for mispredicts without an explicit
+		// gadget: the frontend fetches and partially executes a handful
+		// of wrong-path instructions.
+		body = genericWrongPath(op)
+	}
+	p.runTransient(body)
+	p.squash(len(body))
+	if op.IsControl() {
+		p.C.IEW.BranchMispredicts.Inc()
+	}
+}
+
+// genericWrongPath synthesizes the wrong-path instructions a benign
+// mispredict drags through the pipeline.
+func genericWrongPath(op *isa.Op) []isa.Op {
+	wp := make([]isa.Op, 0, 8)
+	for i := 0; i < 6; i++ {
+		wp = append(wp, isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: op.PC + 8 + uint64(i)*4})
+	}
+	if op.Addr != 0 {
+		wp = append(wp, isa.Op{Kind: isa.KindLoad, Class: isa.MemRead,
+			PC: op.PC + 32, Addr: op.Addr + 64})
+	}
+	return wp
+}
+
+// runTransient executes a squashed-path body: its memory accesses are real
+// (they perturb the caches — the side channel), but nothing commits.
+func (p *Pipeline) runTransient(body []isa.Op) {
+	iq := &p.C.IQ
+	iw := &p.C.IEW
+	tDone := p.cycle
+	for bi := range body {
+		t := &body[bi]
+		if t.Class == isa.NoOpClass {
+			t.Class = isa.DefaultClass(t.Kind)
+		}
+		iq.SquashedInstsExamined.Inc()
+		iq.SquashedOperandsExamined.Add(2)
+		iw.DispSquashedInsts.Inc()
+		p.C.ROB.Writes.Inc()
+
+		// Roughly half the wrong-path body typically issues before the
+		// squash arrives; model that all of it does (the gadget bodies
+		// are short and latency-critical by construction).
+		iq.SquashedInstsIssued.Inc()
+		iw.ExecSquashedInsts.Inc()
+
+		ready := tDone
+		if !t.DependsOnPrev {
+			ready = p.cycle
+		}
+		switch t.Kind {
+		case isa.KindLoad:
+			p.C.LSQ.SquashedLoads.Inc()
+			if p.fencing {
+				// The injected fence blocks the speculative load: no
+				// translation, no cache fill — the side channel never
+				// forms.
+				p.C.IEW.BlockedSpecLoads.Inc()
+				tDone = ready + 1
+				break
+			}
+			res := p.DTB.Translate(t.Addr, false)
+			if t.FBRead {
+				p.Mem.ReadLFB(ready)
+				tDone = ready + 4
+			} else {
+				lat := p.Mem.ReadData(t.Addr, t.Shared, ready+res.Latency)
+				tDone = ready + res.Latency + lat
+				if lat > 20 {
+					p.C.LSQ.IgnoredResponses.Inc()
+				}
+			}
+		case isa.KindStore:
+			p.C.LSQ.SquashedStores.Inc()
+			p.DTB.Translate(t.Addr, true)
+			tDone = ready + 2
+		case isa.KindBranch, isa.KindCall, isa.KindRet, isa.KindIndirect:
+			tDone = ready + 1
+		default:
+			tDone = ready + execLatency[t.Class]
+		}
+		iq.DynamicEnergy.Add(0.4)
+		iw.DynamicEnergy.Add(0.7)
+	}
+	if len(body) > 0 {
+		p.C.Fetch.IcacheSquashes.Inc()
+	}
+}
+
+// squash accounts a pipeline squash of n instructions.
+func (p *Pipeline) squash(n int) {
+	pen := p.cfg.SquashPenalty
+	p.cycle += pen
+	fpen := float64(pen)
+	p.C.Fetch.SquashCycles.Add(fpen)
+	p.C.Decode.SquashCycles.Add(fpen)
+	p.C.Rename.SquashCycles.Add(fpen)
+	p.C.IEW.SquashCycles.Add(fpen)
+	p.C.Rename.UndoneMaps.Add(float64(n))
+	p.C.Commit.SquashedInsts.Add(float64(n))
+	p.C.IQ.SquashedNonSpecRemoved.Add(float64(n) * 0.05)
+	p.BP.Squash(n)
+}
+
+// dispatchToWindow enters the op into the reorder window.
+func (p *Pipeline) dispatchToWindow(op *isa.Op, done uint64, misp bool) {
+	if done < p.cycle {
+		done = p.cycle
+	}
+	p.window = append(p.window, inflight{
+		class:   op.Class,
+		done:    done,
+		isLoad:  op.Kind == isa.KindLoad,
+		isStore: op.Kind == isa.KindStore,
+		line:    op.Addr >> 6,
+		nonSpec: op.IsSerializing(),
+		misp:    misp,
+	})
+	p.C.ROB.Writes.Inc()
+}
+
+// windowLen returns current ROB occupancy.
+func (p *Pipeline) windowLen() int { return len(p.window) - p.head }
+
+// retireReady retires all head instructions whose completion time has
+// passed.
+func (p *Pipeline) retireReady() {
+	for p.head < len(p.window) && p.window[p.head].done <= p.cycle {
+		p.commitHead()
+	}
+	p.compact()
+}
+
+// retireForSpace force-retires the head, advancing the clock to its
+// completion and accounting the back-pressure stall in earlier stages.
+func (p *Pipeline) retireForSpace() {
+	if p.head >= len(p.window) {
+		return
+	}
+	h := p.window[p.head]
+	if h.done > p.cycle {
+		stall := float64(h.done - p.cycle)
+		p.C.Fetch.MiscStallCycles.Add(stall)
+		p.C.Fetch.BlockedCycles.Add(stall)
+		p.C.Decode.BlockedCycles.Add(stall)
+		p.C.Rename.BlockCycles.Add(stall)
+		p.C.IEW.BlockCycles.Add(stall)
+		p.C.Commit.ROBHeadStalls.Add(stall)
+		p.cycle = h.done
+	}
+	p.commitHead()
+	p.retireReady()
+}
+
+// commitHead retires the instruction at the window head.
+func (p *Pipeline) commitHead() {
+	h := p.window[p.head]
+	p.head++
+	cc := &p.C.Commit
+	cc.CommittedInsts.Inc()
+	cc.CommittedOps.Inc()
+	cc.CommitEligible.Inc()
+	cc.OpClass[h.class].Inc()
+	cc.DynamicEnergy.Add(0.5)
+	p.C.Rename.CommittedMaps.Inc()
+	p.C.ROB.Reads.Inc()
+	switch {
+	case h.isLoad:
+		cc.Loads.Inc()
+		p.lq--
+	case h.isStore:
+		cc.Stores.Inc()
+		p.sq--
+	}
+	if h.misp {
+		cc.BranchMispredicts.Inc()
+	}
+	if h.nonSpec {
+		cc.NonSpecStalls.Add(1)
+	}
+	p.committed++
+	if p.OnCommit != nil {
+		p.OnCommit(1)
+	}
+}
+
+func (p *Pipeline) compact() {
+	if p.head > 4096 {
+		p.window = append(p.window[:0], p.window[p.head:]...)
+		p.head = 0
+	}
+}
+
+// drain retires everything in flight, advancing the clock as needed.
+func (p *Pipeline) drain() {
+	for p.head < len(p.window) {
+		h := p.window[p.head]
+		if h.done > p.cycle {
+			p.C.Fetch.PendingDrainCycles.Add(float64(h.done - p.cycle))
+			p.cycle = h.done
+		}
+		p.commitHead()
+	}
+	p.compact()
+}
+
+// advance moves the base clock: width instructions per cycle plus static
+// energy accrual.
+func (p *Pipeline) advance() {
+	p.sub++
+	if p.sub >= p.cfg.Width {
+		p.sub = 0
+		p.cycle++
+		p.C.Fetch.Cycles.Inc()
+		p.C.Fetch.RunCycles.Inc()
+		p.C.Decode.RunCycles.Inc()
+		p.C.Rename.RunCycles.Inc()
+		p.C.Fetch.StaticEnergy.Add(0.1)
+		p.C.Decode.StaticEnergy.Add(0.08)
+		p.C.Rename.StaticEnergy.Add(0.08)
+		p.C.IQ.StaticEnergy.Add(0.12)
+		p.C.IEW.StaticEnergy.Add(0.15)
+		p.C.Commit.StaticEnergy.Add(0.08)
+	}
+}
+
+// histograms refreshes the occupancy and rate histograms periodically.
+func (p *Pipeline) histograms() {
+	p.opsSinceHist++
+	if p.opsSinceHist < 128 {
+		return
+	}
+	p.opsSinceHist = 0
+
+	occ := p.windowLen()
+	bucket := occ * (len(p.C.ROB.OccDist) - 1) / p.cfg.ROBEntries
+	if bucket >= len(p.C.ROB.OccDist) {
+		bucket = len(p.C.ROB.OccDist) - 1
+	}
+	p.C.ROB.OccDist[bucket].Inc()
+
+	inIQ := 0
+	for i := p.head; i < len(p.window); i++ {
+		if p.window[i].done > p.cycle {
+			inIQ++
+		}
+	}
+	ib := inIQ * (len(p.C.IQ.OccDist) - 1) / 64
+	if ib >= len(p.C.IQ.OccDist) {
+		ib = len(p.C.IQ.OccDist) - 1
+	}
+	p.C.IQ.OccDist[ib].Inc()
+
+	lb := clampBucket(p.lq, p.cfg.LQEntries, len(p.C.LSQ.LQOccDist))
+	p.C.LSQ.LQOccDist[lb].Inc()
+	sb := clampBucket(p.sq, p.cfg.SQEntries, len(p.C.LSQ.SQOccDist))
+	p.C.LSQ.SQOccDist[sb].Inc()
+
+	// Rate histograms: instructions per cycle since the last refresh.
+	dc := p.cycle - p.lastHistCyc
+	di := p.committed - p.lastHistInst
+	p.lastHistCyc = p.cycle
+	p.lastHistInst = p.committed
+	rate := p.cfg.Width
+	if dc > 0 {
+		r := int(di / dc)
+		if r < rate {
+			rate = r
+		}
+	}
+	p.C.Fetch.RateDist[rate].Inc()
+	p.C.Decode.RateDist[rate].Inc()
+	p.C.Rename.RateDist[rate].Inc()
+	p.C.IQ.RateDist[rate].Inc()
+	p.C.Commit.RateDist[rate].Inc()
+}
+
+func clampBucket(v, maxV, buckets int) int {
+	if maxV <= 0 {
+		return 0
+	}
+	b := v * (buckets - 1) / maxV
+	if b < 0 {
+		b = 0
+	}
+	if b >= buckets {
+		b = buckets - 1
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/attacks"
+	"perspectron/internal/workload/benign"
+)
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := New(10_000, 3_000, 1, benign.Bzip2()); err == nil {
+		t.Fatalf("non-divisible quantum accepted")
+	}
+	if _, err := New(0, 1_000, 1, benign.Bzip2()); err == nil {
+		t.Fatalf("zero quantum accepted")
+	}
+	if _, err := New(10_000, 10_000, 1); err == nil {
+		t.Fatalf("empty task list accepted")
+	}
+}
+
+func TestRoundRobinAttribution(t *testing.T) {
+	s, err := New(10_000, 10_000, 1, benign.Bzip2(), attacks.FlushReload(), benign.Mcf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := s.Run(120_000)
+	if len(samples) < 9 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	// Round-robin: consecutive samples rotate through the three tasks.
+	for i, smp := range samples {
+		if smp.Task != i%3 {
+			t.Fatalf("sample %d attributed to task %d, want %d", i, smp.Task, i%3)
+		}
+	}
+	// Attribution carries labels.
+	if samples[1].Label != workload.Malicious || samples[0].Label != workload.Benign {
+		t.Fatalf("labels wrong: %v %v", samples[0].Label, samples[1].Label)
+	}
+	if s.Switches() == 0 {
+		t.Fatalf("no context switches recorded")
+	}
+}
+
+func TestQuantaShareProgress(t *testing.T) {
+	s, err := New(10_000, 10_000, 2, benign.Gcc(), benign.Sjeng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100_000)
+	a, b := s.Tasks()[0].Committed, s.Tasks()[1].Committed
+	if a == 0 || b == 0 {
+		t.Fatalf("a task starved: %d / %d", a, b)
+	}
+	if a != b {
+		t.Fatalf("round robin unbalanced: %d vs %d", a, b)
+	}
+}
+
+func TestFiniteStreamEnds(t *testing.T) {
+	// A program whose stream ends early must be marked done and the rest
+	// keep running.
+	short := workload.NewLoop(workload.Info{Name: "short", Label: workload.Benign},
+		nil, func(b *workload.Builder) {
+			if b.Iteration() > 2 {
+				return // end of stream
+			}
+			b.PlainN(0, 100)
+		})
+	s, err := New(5_000, 5_000, 3, short, benign.Bzip2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50_000)
+	if !s.Tasks()[0].done {
+		t.Fatalf("short task not marked done")
+	}
+	if s.Tasks()[1].Committed < 20_000 {
+		t.Fatalf("survivor task starved: %d", s.Tasks()[1].Committed)
+	}
+}
+
+func TestContextSwitchFlushesTLB(t *testing.T) {
+	s, err := New(10_000, 10_000, 4, benign.Bzip2(), benign.Mcf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60_000)
+	c, ok := s.M.Reg.Lookup("dtb.flushes")
+	if !ok {
+		t.Fatalf("missing dtb.flushes")
+	}
+	if c.Value() == 0 {
+		t.Fatalf("context switches did not flush the TLB")
+	}
+}
+
+func TestCrossProcessCacheStatePersists(t *testing.T) {
+	// The shared-cache substrate must survive switches: a flush+reload
+	// attacker scheduled against benign tasks still produces its flush
+	// footprint (it could not if caches were wiped per switch).
+	s, err := New(10_000, 10_000, 5, attacks.FlushReload(), benign.DealII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(80_000)
+	c, _ := s.M.Reg.Lookup("dcache.flush_ops")
+	if c.Value() == 0 {
+		t.Fatalf("attacker produced no flushes under scheduling")
+	}
+}

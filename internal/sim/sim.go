@@ -1,0 +1,133 @@
+// Package sim assembles the whole simulated machine of the paper's Table II:
+// an 8-wide out-of-order x86-like core at 2 GHz with a tournament branch
+// predictor, 32 KB L1I / 64 KB L1D / 2 MB shared L2, a DRAM controller with
+// a power model, and I/D TLBs — all instrumented with the microarchitectural
+// counter registry that PerSpectron samples.
+package sim
+
+import (
+	"perspectron/internal/branch"
+	"perspectron/internal/cache"
+	"perspectron/internal/dram"
+	"perspectron/internal/isa"
+	"perspectron/internal/pipeline"
+	"perspectron/internal/stats"
+	"perspectron/internal/tlb"
+)
+
+// Config gathers every sub-component configuration.
+type Config struct {
+	Pipeline pipeline.Config
+	Branch   branch.Config
+	TLB      tlb.Config
+	DRAM     dram.Config
+}
+
+// DefaultConfig is the paper's Table II machine.
+func DefaultConfig() Config {
+	return Config{
+		Pipeline: pipeline.DefaultConfig(),
+		Branch:   branch.DefaultConfig(),
+		TLB:      tlb.DefaultConfig(),
+		DRAM:     dram.DefaultConfig(),
+	}
+}
+
+// ClockGHz is the simulated core frequency (Table II).
+const ClockGHz = 2.0
+
+// Machine is one fully wired simulated core + memory system. Build a fresh
+// Machine per program run: microarchitectural state (caches, predictors,
+// counters) starts cold, as in the paper's per-program gem5 runs.
+type Machine struct {
+	Cfg  Config
+	Reg  *stats.Registry
+	Pipe *pipeline.Pipeline
+	Hier *cache.Hierarchy
+	DRAM *dram.Controller
+	BP   *branch.Predictor
+	ITB  *tlb.TLB
+	DTB  *tlb.TLB
+
+	// OnSample is invoked after each sampling interval during Run with the
+	// 0-based sample index; mitigation policies hook here.
+	OnSample sampleHook
+}
+
+// memAdapter exposes the hierarchy as the pipeline's MemSystem.
+type memAdapter struct{ h *cache.Hierarchy }
+
+func (m memAdapter) FetchInst(pc uint64, cycle uint64) uint64 { return m.h.FetchInst(pc, cycle) }
+func (m memAdapter) ReadData(addr uint64, shared bool, cycle uint64) uint64 {
+	return m.h.ReadData(addr, shared, cycle)
+}
+func (m memAdapter) WriteData(addr uint64, cycle uint64) uint64     { return m.h.WriteData(addr, cycle) }
+func (m memAdapter) Flush(addr uint64, cycle uint64) (bool, uint64) { return m.h.Flush(addr, cycle) }
+func (m memAdapter) ReadLFB(cycle uint64) bool                      { return m.h.L1D.ReadLFB(cycle) }
+
+// NewMachine wires a machine and seals its counter registry.
+func NewMachine(cfg Config) *Machine {
+	reg := stats.NewRegistry()
+	d := dram.New(cfg.DRAM, reg)
+	h := cache.NewHierarchy(reg, d)
+	bp := branch.New(cfg.Branch, reg)
+	itb := tlb.New(cfg.TLB, reg, stats.CompITB, "itb")
+	dtb := tlb.New(cfg.TLB, reg, stats.CompDTB, "dtb")
+	p := pipeline.New(cfg.Pipeline, pipeline.NewCounters(reg, cfg.Pipeline.Width))
+	p.Mem = memAdapter{h}
+	p.BP = bp
+	p.ITB = itb
+	p.DTB = dtb
+	reg.Seal()
+	return &Machine{Cfg: cfg, Reg: reg, Pipe: p, Hier: h, DRAM: d, BP: bp, ITB: itb, DTB: dtb}
+}
+
+// NumCounters returns the size of the machine's counter space (the paper's
+// machine exposes 1159 counters; this model's inventory is asserted in the
+// sim tests and documented in DESIGN.md).
+func (m *Machine) NumCounters() int { return m.Reg.Len() }
+
+// sampleHook is invoked after each sampling interval fires, with the
+// 0-based sample index and that interval's counter delta vector — the hook
+// OS-level mitigation policies use to score the interval and react (rekey
+// caches, toggle fencing) before the next one.
+type sampleHook = func(index int, delta []float64)
+
+// Run executes the stream for up to maxInsts committed-path instructions,
+// sampling all counters every sampleInterval committed instructions. It
+// returns the per-interval counter delta vectors.
+func (m *Machine) Run(stream isa.Stream, maxInsts, sampleInterval uint64) [][]float64 {
+	sampler := stats.NewSampler(m.Reg, sampleInterval)
+	idx := 0
+	m.Pipe.OnCommit = func(n uint64) {
+		fired := sampler.Tick(n)
+		for i := 0; i < fired; i++ {
+			if m.OnSample != nil {
+				all := sampler.Samples()
+				m.OnSample(idx, all[len(all)-fired+i])
+			}
+			idx++
+		}
+	}
+	m.Pipe.Run(stream, maxInsts)
+	m.DRAM.FinishAt(m.Pipe.Cycle())
+	sampler.Flush(sampleInterval / 2)
+	return sampler.Samples()
+}
+
+// EnableFencing toggles the context-sensitive-fencing mitigation (§IV-G1):
+// injected fences block speculative loads at a per-branch serialization
+// cost.
+func (m *Machine) EnableFencing(on bool) { m.Pipe.SetFencing(on) }
+
+// RekeyCaches rotates the CEASER-style index-randomization key of the data
+// caches (§IV-G1), destroying any eviction sets the attacker has built.
+func (m *Machine) RekeyCaches(key uint64) {
+	cycle := m.Pipe.Cycle()
+	m.Hier.L1D.Rekey(key, cycle)
+	m.Hier.L2.Rekey(key*0x9e3779b97f4a7c15+1, cycle)
+}
+
+// InjectBPNoise randomizes branch predictions at ratePermille/1000 (§IV-G1),
+// making predictor mistraining unreliable.
+func (m *Machine) InjectBPNoise(ratePermille int) { m.BP.SetNoise(ratePermille) }

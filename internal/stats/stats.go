@@ -1,0 +1,226 @@
+// Package stats implements the microarchitectural statistics engine used by
+// the simulator: a registry of named counters grouped by pipeline component,
+// snapshot/delta sampling at a fixed instruction granularity, the
+// per-(counter, sampling-point) maximum matrix M from the paper, and the
+// scaled/binarized k-sparse feature representation consumed by PerSpectron.
+//
+// The paper examines 1159 counters across 17 components; the registry is
+// dynamic, and the simulator in internal/sim registers exactly that many.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component identifies the pipeline or memory-system unit a counter belongs
+// to. Feature selection treats counters of the same component as candidates
+// for within-component decorrelation, while correlated counters in
+// *different* components are kept as replicated detectors.
+type Component int
+
+// The 17 components of the simulated machine, mirroring gem5's stat
+// hierarchy as referenced by the paper (fetch, decode, rename, iq, iew,
+// lsq, memDep, commit, rob, branchPred, itb, dtb, icache, dcache, l2,
+// tol2bus/membus, mem_ctrls).
+const (
+	CompFetch Component = iota
+	CompDecode
+	CompRename
+	CompIQ
+	CompIEW
+	CompLSQ
+	CompMemDep
+	CompCommit
+	CompROB
+	CompBranchPred
+	CompITB
+	CompDTB
+	CompICache
+	CompDCache
+	CompL2
+	CompBus
+	CompMemCtrl
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"fetch", "decode", "rename", "iq", "iew", "lsq", "memDep", "commit",
+	"rob", "branchPred", "itb", "dtb", "icache", "dcache", "l2",
+	"bus", "mem_ctrls",
+}
+
+// String returns the gem5-style lowercase component name.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// ParseComponent maps a component name back to its Component value.
+func ParseComponent(s string) (Component, error) {
+	for i, n := range componentNames {
+		if n == s {
+			return Component(i), nil
+		}
+	}
+	return 0, fmt.Errorf("stats: unknown component %q", s)
+}
+
+// Counter is a single monotonically increasing microarchitectural statistic.
+// Counters are created through Registry.New* and written by the simulator via
+// Add/Inc. Values are float64 so that energy and latency-sum statistics share
+// the same machinery as event counts.
+type Counter struct {
+	idx       int
+	name      string
+	component Component
+	desc      string
+	val       float64
+}
+
+// Name returns the fully qualified counter name, e.g.
+// "commit.NonSpecStalls".
+func (c *Counter) Name() string { return c.name }
+
+// Component returns the pipeline component this counter belongs to.
+func (c *Counter) Component() Component { return c.component }
+
+// Desc returns the human-readable description.
+func (c *Counter) Desc() string { return c.desc }
+
+// Index returns the counter's stable position in registry order; sample
+// vectors use this index.
+func (c *Counter) Index() int { return c.idx }
+
+// Value returns the current cumulative value.
+func (c *Counter) Value() float64 { return c.val }
+
+// Inc increments the counter by one event.
+func (c *Counter) Inc() { c.val++ }
+
+// Add increments the counter by n (n may be fractional for energy stats).
+func (c *Counter) Add(n float64) { c.val += n }
+
+// Registry holds all counters of a machine in a stable order.
+//
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	counters []*Counter
+	byName   map[string]*Counter
+	sealed   bool
+}
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Counter)}
+}
+
+// New registers a counter under component comp with the given short name and
+// description. The fully qualified name is "<component>.<name>". New panics
+// on duplicate names or if the registry has been sealed: counter sets are
+// fixed at machine construction time, so both indicate a programming error.
+func (r *Registry) New(comp Component, name, desc string) *Counter {
+	full := comp.String() + "." + name
+	return r.newNamed(full, comp, desc)
+}
+
+// NewRaw registers a counter whose fully qualified name is given verbatim
+// (used for gem5-style names that embed extra hierarchy, e.g.
+// "tol2bus.trans_dist::ReadSharedReq" under the bus component).
+func (r *Registry) NewRaw(comp Component, fullName, desc string) *Counter {
+	return r.newNamed(fullName, comp, desc)
+}
+
+func (r *Registry) newNamed(full string, comp Component, desc string) *Counter {
+	if r.sealed {
+		panic("stats: registry sealed; cannot add counter " + full)
+	}
+	if _, dup := r.byName[full]; dup {
+		panic("stats: duplicate counter " + full)
+	}
+	c := &Counter{idx: len(r.counters), name: full, component: comp, desc: desc}
+	r.counters = append(r.counters, c)
+	r.byName[full] = c
+	return c
+}
+
+// Seal freezes the counter set. Sampling requires a sealed registry so that
+// vector lengths are stable.
+func (r *Registry) Seal() { r.sealed = true }
+
+// Sealed reports whether the registry has been sealed.
+func (r *Registry) Sealed() bool { return r.sealed }
+
+// Len returns the number of registered counters.
+func (r *Registry) Len() int { return len(r.counters) }
+
+// Lookup returns the counter with the given fully qualified name.
+func (r *Registry) Lookup(name string) (*Counter, bool) {
+	c, ok := r.byName[name]
+	return c, ok
+}
+
+// Names returns all counter names in registry order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.counters))
+	for i, c := range r.counters {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Components returns, in registry order, the component of each counter.
+func (r *Registry) Components() []Component {
+	out := make([]Component, len(r.counters))
+	for i, c := range r.counters {
+		out[i] = c.component
+	}
+	return out
+}
+
+// Counter returns the i'th counter in registry order.
+func (r *Registry) Counter(i int) *Counter { return r.counters[i] }
+
+// Snapshot copies the current cumulative values into dst, which must have
+// length Len() (pass nil to allocate).
+func (r *Registry) Snapshot(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(r.counters))
+	}
+	if len(dst) != len(r.counters) {
+		panic("stats: snapshot length mismatch")
+	}
+	for i, c := range r.counters {
+		dst[i] = c.val
+	}
+	return dst
+}
+
+// Reset zeroes all counters. Used between program runs on a shared machine.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.val = 0
+	}
+}
+
+// ByComponent returns the indices of all counters belonging to comp, in
+// registry order.
+func (r *Registry) ByComponent(comp Component) []int {
+	var out []int
+	for i, c := range r.counters {
+		if c.component == comp {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SortedNames returns counter names sorted lexicographically; useful for
+// stable dumps in tools and tests.
+func (r *Registry) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}

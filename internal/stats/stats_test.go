@@ -1,0 +1,371 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompCommit, "NonSpecStalls", "commit stalls for non-speculative ops")
+	b := r.New(CompFetch, "SquashCycles", "cycles fetch spent squashed")
+	if got := a.Name(); got != "commit.NonSpecStalls" {
+		t.Fatalf("name = %q", got)
+	}
+	if a.Index() != 0 || b.Index() != 1 {
+		t.Fatalf("indices = %d,%d", a.Index(), b.Index())
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	a.Inc()
+	a.Add(2.5)
+	if a.Value() != 3.5 {
+		t.Fatalf("value = %v", a.Value())
+	}
+	c, ok := r.Lookup("fetch.SquashCycles")
+	if !ok || c != b {
+		t.Fatalf("lookup failed")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatalf("lookup of missing name succeeded")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.New(CompIQ, "x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on duplicate counter")
+		}
+	}()
+	r.New(CompIQ, "x", "")
+}
+
+func TestRegistrySealedPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on add after seal")
+		}
+	}()
+	r.New(CompIQ, "x", "")
+}
+
+func TestRegistryNewRaw(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewRaw(CompBus, "tol2bus.trans_dist::ReadSharedReq", "bus read shared requests")
+	if c.Name() != "tol2bus.trans_dist::ReadSharedReq" {
+		t.Fatalf("raw name = %q", c.Name())
+	}
+	if c.Component() != CompBus {
+		t.Fatalf("component = %v", c.Component())
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "component(") {
+			t.Fatalf("component %d has no name", c)
+		}
+		back, err := ParseComponent(s)
+		if err != nil || back != c {
+			t.Fatalf("round trip of %q failed: %v %v", s, back, err)
+		}
+	}
+	if _, err := ParseComponent("bogus"); err == nil {
+		t.Fatalf("expected error for bogus component")
+	}
+}
+
+func TestByComponent(t *testing.T) {
+	r := NewRegistry()
+	r.New(CompFetch, "a", "")
+	r.New(CompDecode, "b", "")
+	r.New(CompFetch, "c", "")
+	got := r.ByComponent(CompFetch)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("ByComponent = %v", got)
+	}
+	if r.ByComponent(CompL2) != nil {
+		t.Fatalf("expected nil for empty component")
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompFetch, "a", "")
+	b := r.New(CompDecode, "b", "")
+	a.Add(3)
+	b.Add(7)
+	snap := r.Snapshot(nil)
+	if snap[0] != 3 || snap[1] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.Reset()
+	if a.Value() != 0 || b.Value() != 0 {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestSamplerFiresAtGranularity(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompCommit, "insts", "")
+	r.Seal()
+	s := NewSampler(r, 100)
+	for i := 0; i < 10; i++ {
+		a.Add(50)
+		s.Tick(50)
+	}
+	if got := len(s.Samples()); got != 5 {
+		t.Fatalf("samples = %d, want 5", got)
+	}
+	for _, vec := range s.Samples() {
+		if vec[0] != 100 {
+			t.Fatalf("delta = %v, want 100", vec[0])
+		}
+	}
+	if s.Committed() != 500 {
+		t.Fatalf("committed = %d", s.Committed())
+	}
+}
+
+func TestSamplerDeltaNotCumulative(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompCommit, "x", "")
+	r.Seal()
+	s := NewSampler(r, 10)
+	a.Add(5)
+	s.Tick(10)
+	a.Add(9)
+	s.Tick(10)
+	got := s.Samples()
+	if got[0][0] != 5 || got[1][0] != 9 {
+		t.Fatalf("deltas = %v,%v; want 5,9", got[0][0], got[1][0])
+	}
+}
+
+func TestSamplerFlush(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompCommit, "x", "")
+	r.Seal()
+	s := NewSampler(r, 100)
+	a.Add(1)
+	s.Tick(60)
+	s.Flush(50)
+	if len(s.Samples()) != 1 {
+		t.Fatalf("flush did not emit tail sample")
+	}
+	s2 := NewSampler(r, 100)
+	s2.Tick(30)
+	s2.Flush(50)
+	if len(s2.Samples()) != 0 {
+		t.Fatalf("flush emitted sample below minInstr")
+	}
+}
+
+func TestSamplerMultipleFiresInOneTick(t *testing.T) {
+	r := NewRegistry()
+	r.New(CompCommit, "x", "")
+	r.Seal()
+	s := NewSampler(r, 10)
+	if fired := s.Tick(35); fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	r := NewRegistry()
+	r.New(CompCommit, "x", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic for unsealed registry")
+			}
+		}()
+		NewSampler(r, 10)
+	}()
+	r.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero interval")
+		}
+	}()
+	NewSampler(r, 0)
+}
+
+func TestMaxMatrixObserveAndScale(t *testing.T) {
+	m := NewMaxMatrix(2)
+	m.Observe([][]float64{{10, 0}, {20, 4}})
+	m.Observe([][]float64{{5, 2}, {40, 1}})
+	if m.NumPoints() != 2 {
+		t.Fatalf("points = %d", m.NumPoints())
+	}
+	if m.Max(0, 0) != 10 || m.Max(0, 1) != 40 {
+		t.Fatalf("max col: %v %v", m.Max(0, 0), m.Max(0, 1))
+	}
+	// counter 1 at point 0: per-point max is 2.
+	if m.Max(1, 0) != 2 {
+		t.Fatalf("max(1,0) = %v", m.Max(1, 0))
+	}
+	// Unseen point falls back to global max.
+	if m.Max(0, 9) != 40 {
+		t.Fatalf("fallback max = %v", m.Max(0, 9))
+	}
+	scaled := m.Scale([]float64{5, 1}, 0, nil)
+	if scaled[0] != 0.5 || scaled[1] != 0.5 {
+		t.Fatalf("scaled = %v", scaled)
+	}
+	// Values above the recorded max clamp to 1.
+	scaled = m.Scale([]float64{100, 100}, 0, nil)
+	if scaled[0] != 1 || scaled[1] != 1 {
+		t.Fatalf("clamp failed: %v", scaled)
+	}
+}
+
+func TestBinarizeThreshold(t *testing.T) {
+	m := NewMaxMatrix(3)
+	m.Observe([][]float64{{10, 10, 0}})
+	bits := m.Binarize([]float64{5, 4.9, 0}, 0, nil)
+	if bits[0] != 1 || bits[1] != 0 || bits[2] != 0 {
+		t.Fatalf("bits = %v", bits)
+	}
+}
+
+func TestSparsity(t *testing.T) {
+	if got := Sparsity([]float64{1, 0, 1, 0}); got != 0.5 {
+		t.Fatalf("sparsity = %v", got)
+	}
+	if got := Sparsity(nil); got != 0 {
+		t.Fatalf("sparsity(nil) = %v", got)
+	}
+}
+
+// Property: binarized vectors contain only 0/1 and scaling is always within
+// [0,1], for arbitrary non-negative observations.
+func TestQuickBinarizeIsBinary(t *testing.T) {
+	f := func(raw []uint16, probe []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		if len(probe) < n {
+			return true
+		}
+		m := NewMaxMatrix(n)
+		obs := make([]float64, n)
+		for i, v := range raw {
+			obs[i] = float64(v)
+		}
+		m.Observe([][]float64{obs})
+		p := make([]float64, n)
+		for i := 0; i < n; i++ {
+			p[i] = float64(probe[i])
+		}
+		scaled := m.Scale(p, 0, nil)
+		bits := m.Binarize(p, 0, nil)
+		for i := 0; i < n; i++ {
+			if scaled[i] < 0 || scaled[i] > 1 {
+				return false
+			}
+			if bits[i] != 0 && bits[i] != 1 {
+				return false
+			}
+			if (scaled[i] >= 0.5) != (bits[i] == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampler deltas sum back to the cumulative counter value when the
+// instruction stream is a multiple of the interval.
+func TestQuickSamplerDeltasSum(t *testing.T) {
+	f := func(incs []uint8) bool {
+		r := NewRegistry()
+		c := r.New(CompCommit, "x", "")
+		r.Seal()
+		s := NewSampler(r, 7)
+		var total float64
+		for _, v := range incs {
+			c.Add(float64(v))
+			total += float64(v)
+			s.Tick(7)
+		}
+		var sum float64
+		for _, vec := range s.Samples() {
+			sum += vec[0]
+		}
+		return sum == total && len(s.Samples()) == len(incs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompFetch, "Insts", "instructions fetched")
+	r.New(CompCommit, "zero", "never fires")
+	a.Add(42)
+	var buf strings.Builder
+	if err := r.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fetch.Insts") || !strings.Contains(out, "42") {
+		t.Fatalf("dump missing counter:\n%s", out)
+	}
+	if !strings.Contains(out, "commit.zero") {
+		t.Fatalf("dump omitted zero counter")
+	}
+	if !strings.Contains(out, "Begin Simulation Statistics") {
+		t.Fatalf("dump missing frame")
+	}
+}
+
+func TestDumpDelta(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompFetch, "a", "")
+	b := r.New(CompFetch, "b", "")
+	prev := r.Snapshot(nil)
+	a.Add(5)
+	_ = b
+	var buf strings.Builder
+	if err := r.DumpDelta(&buf, prev); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fetch.a") {
+		t.Fatalf("delta missing changed counter")
+	}
+	if strings.Contains(out, "fetch.b") {
+		t.Fatalf("delta includes unchanged counter")
+	}
+	if err := r.DumpDelta(&buf, []float64{1}); err == nil {
+		t.Fatalf("mismatched snapshot accepted")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	r := NewRegistry()
+	r.New(CompFetch, "zeta", "")
+	r.New(CompFetch, "alpha", "")
+	names := r.SortedNames()
+	if names[0] != "fetch.alpha" || names[1] != "fetch.zeta" {
+		t.Fatalf("sorted names = %v", names)
+	}
+	// Registry order is unchanged.
+	if r.Names()[0] != "fetch.zeta" {
+		t.Fatalf("SortedNames mutated registry order")
+	}
+}

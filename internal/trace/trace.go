@@ -1,0 +1,257 @@
+// Package trace collects labelled multi-dimensional time-series traces from
+// the simulator — the paper's gem5 statistics dumps at 10K/50K/100K
+// instruction granularity — and prepares them for learning: the per-
+// (counter, execution-point) maximum matrix M, scaling to [0,1], and the
+// k-sparse binarization PerSpectron consumes.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"perspectron/internal/sim"
+	"perspectron/internal/stats"
+	"perspectron/internal/workload"
+)
+
+// Sample is one sampling interval of one program run.
+type Sample struct {
+	Program  string
+	Category string
+	Channel  string
+	Label    workload.Label
+	Run      int // run instance (seed index)
+	Index    int // execution point: sampling interval number within the run
+	Raw      []float64
+}
+
+// Dataset is a labelled collection of samples over a fixed feature space.
+type Dataset struct {
+	FeatureNames []string
+	Components   []stats.Component
+	Interval     uint64
+	Samples      []Sample
+}
+
+// NumFeatures returns the feature-space width.
+func (d *Dataset) NumFeatures() int { return len(d.FeatureNames) }
+
+// ClassCounts returns (#benign, #malicious).
+func (d *Dataset) ClassCounts() (benign, malicious int) {
+	for _, s := range d.Samples {
+		if s.Label == workload.Malicious {
+			malicious++
+		} else {
+			benign++
+		}
+	}
+	return benign, malicious
+}
+
+// Categories returns the distinct program categories present.
+func (d *Dataset) Categories() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range d.Samples {
+		if !seen[s.Category] {
+			seen[s.Category] = true
+			out = append(out, s.Category)
+		}
+	}
+	return out
+}
+
+// Filter returns a shallow dataset containing only samples keep selects.
+func (d *Dataset) Filter(keep func(*Sample) bool) *Dataset {
+	out := &Dataset{FeatureNames: d.FeatureNames, Components: d.Components, Interval: d.Interval}
+	for i := range d.Samples {
+		if keep(&d.Samples[i]) {
+			out.Samples = append(out.Samples, d.Samples[i])
+		}
+	}
+	return out
+}
+
+// CollectConfig controls trace collection.
+type CollectConfig struct {
+	MaxInsts uint64 // committed-path ops per program run
+	Interval uint64 // sampling granularity (10K/50K/100K)
+	Seed     int64
+	Runs     int // independent runs (seeds) per program
+	Parallel int // worker goroutines; 0 = GOMAXPROCS
+}
+
+// DefaultCollectConfig mirrors the paper's densest setting at a laptop-
+// friendly run length.
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{MaxInsts: 200_000, Interval: 10_000, Seed: 1, Runs: 2}
+}
+
+// Collect runs every program on a fresh machine per run and gathers the
+// sampled counter deltas. Collection is deterministic for a fixed config
+// (per-run seeds are derived from cfg.Seed) and parallel across runs.
+func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
+	probe := sim.NewMachine(sim.DefaultConfig())
+	ds := &Dataset{
+		FeatureNames: probe.Reg.Names(),
+		Components:   probe.Reg.Components(),
+		Interval:     cfg.Interval,
+	}
+
+	type job struct {
+		prog workload.Program
+		run  int
+	}
+	var jobs []job
+	for _, p := range progs {
+		for r := 0; r < cfg.Runs; r++ {
+			jobs = append(jobs, job{p, r})
+		}
+	}
+
+	results := make([][]Sample, len(jobs))
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ji := range ch {
+				j := jobs[ji]
+				info := j.prog.Info()
+				seed := cfg.Seed*1_000_003 + int64(ji)*7919
+				m := sim.NewMachine(sim.DefaultConfig())
+				vecs := m.Run(j.prog.Stream(rand.New(rand.NewSource(seed))),
+					cfg.MaxInsts, cfg.Interval)
+				out := make([]Sample, len(vecs))
+				for i, v := range vecs {
+					out[i] = Sample{
+						Program:  info.Name,
+						Category: info.Category,
+						Channel:  info.Channel,
+						Label:    info.Label,
+						Run:      j.run,
+						Index:    i,
+						Raw:      v,
+					}
+				}
+				results[ji] = out
+			}
+		}()
+	}
+	for ji := range jobs {
+		ch <- ji
+	}
+	close(ch)
+	wg.Wait()
+
+	for _, r := range results {
+		ds.Samples = append(ds.Samples, r...)
+	}
+	return ds
+}
+
+// Encoder scales raw counter deltas by the maximum matrix M and binarizes
+// them into the paper's k-sparse representation.
+type Encoder struct {
+	M *stats.MaxMatrix
+}
+
+// NewEncoder builds M from the training dataset: per-run sample sequences
+// update the per-execution-point maxima.
+func NewEncoder(train *Dataset) *Encoder {
+	m := stats.NewMaxMatrix(train.NumFeatures())
+	// Group samples into per-run sequences ordered by index.
+	type key struct {
+		prog string
+		run  int
+	}
+	byRun := map[key][][]float64{}
+	for i := range train.Samples {
+		s := &train.Samples[i]
+		k := key{s.Program, s.Run}
+		seq := byRun[k]
+		for len(seq) <= s.Index {
+			seq = append(seq, nil)
+		}
+		seq[s.Index] = s.Raw
+		byRun[k] = seq
+	}
+	for _, seq := range byRun {
+		compact := make([][]float64, 0, len(seq))
+		for _, v := range seq {
+			if v != nil {
+				compact = append(compact, v)
+			}
+		}
+		m.Observe(compact)
+	}
+	return &Encoder{M: m}
+}
+
+// Scale returns the sample scaled to [0,1] per feature.
+func (e *Encoder) Scale(s *Sample) []float64 {
+	return e.M.Scale(s.Raw, s.Index, nil)
+}
+
+// Binarize returns the k-sparse 0/1 vector for the sample.
+func (e *Encoder) Binarize(s *Sample) []float64 {
+	return e.M.Binarize(s.Raw, s.Index, nil)
+}
+
+// Matrix encodes the whole dataset: X is scaled features (rows in dataset
+// order), y is +1 for malicious and -1 for benign.
+func (e *Encoder) Matrix(d *Dataset) (X [][]float64, y []float64) {
+	X = make([][]float64, len(d.Samples))
+	y = make([]float64, len(d.Samples))
+	for i := range d.Samples {
+		X[i] = e.Scale(&d.Samples[i])
+		y[i] = LabelValue(d.Samples[i].Label)
+	}
+	return X, y
+}
+
+// BinaryMatrix encodes the dataset as k-sparse binary vectors.
+func (e *Encoder) BinaryMatrix(d *Dataset) (X [][]float64, y []float64) {
+	X = make([][]float64, len(d.Samples))
+	y = make([]float64, len(d.Samples))
+	for i := range d.Samples {
+		X[i] = e.Binarize(&d.Samples[i])
+		y[i] = LabelValue(d.Samples[i].Label)
+	}
+	return X, y
+}
+
+// LabelValue maps a label onto the perceptron's ±1 target.
+func LabelValue(l workload.Label) float64 {
+	if l == workload.Malicious {
+		return 1
+	}
+	return -1
+}
+
+// Project returns copies of rows restricted to the given feature indices.
+func Project(X [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		p := make([]float64, len(idx))
+		for j, f := range idx {
+			p[j] = row[f]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Summary returns a one-line description of the dataset.
+func (d *Dataset) Summary() string {
+	b, m := d.ClassCounts()
+	return fmt.Sprintf("%d samples (%d benign, %d malicious), %d features, interval %d",
+		len(d.Samples), b, m, d.NumFeatures(), d.Interval)
+}

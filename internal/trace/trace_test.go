@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/attacks"
+	"perspectron/internal/workload/benign"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	progs := []workload.Program{benign.Bzip2(), attacks.FlushReload()}
+	return Collect(progs, CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1})
+}
+
+func TestCollectProducesBothClasses(t *testing.T) {
+	ds := smallDataset(t)
+	b, m := ds.ClassCounts()
+	if b == 0 || m == 0 {
+		t.Fatalf("class counts: benign=%d malicious=%d", b, m)
+	}
+	if ds.NumFeatures() < 700 {
+		t.Fatalf("feature space too small: %d", ds.NumFeatures())
+	}
+	for _, s := range ds.Samples {
+		if len(s.Raw) != ds.NumFeatures() {
+			t.Fatalf("sample width mismatch")
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	cfg := CollectConfig{MaxInsts: 20_000, Interval: 10_000, Seed: 5, Runs: 1}
+	a := Collect([]workload.Program{benign.Mcf()}, cfg)
+	b := Collect([]workload.Program{benign.Mcf()}, cfg)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		for j := range a.Samples[i].Raw {
+			if a.Samples[i].Raw[j] != b.Samples[i].Raw[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCollectMultiRunSeedsDiffer(t *testing.T) {
+	cfg := CollectConfig{MaxInsts: 20_000, Interval: 10_000, Seed: 5, Runs: 2}
+	ds := Collect([]workload.Program{benign.Gobmk()}, cfg)
+	run0 := ds.Filter(func(s *Sample) bool { return s.Run == 0 })
+	run1 := ds.Filter(func(s *Sample) bool { return s.Run == 1 })
+	if len(run0.Samples) == 0 || len(run1.Samples) == 0 {
+		t.Fatalf("missing runs")
+	}
+	same := true
+	for j := range run0.Samples[0].Raw {
+		if run0.Samples[0].Raw[j] != run1.Samples[0].Raw[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical first samples")
+	}
+}
+
+func TestEncoderScaleRange(t *testing.T) {
+	ds := smallDataset(t)
+	enc := NewEncoder(ds)
+	X, y := enc.Matrix(ds)
+	if len(X) != len(ds.Samples) || len(y) != len(X) {
+		t.Fatalf("matrix shape wrong")
+	}
+	for i, row := range X {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("scaled value %v out of range", v)
+			}
+		}
+		if y[i] != 1 && y[i] != -1 {
+			t.Fatalf("label value %v", y[i])
+		}
+	}
+}
+
+func TestEncoderBinary(t *testing.T) {
+	ds := smallDataset(t)
+	enc := NewEncoder(ds)
+	X, _ := enc.BinaryMatrix(ds)
+	ones := 0
+	for _, row := range X {
+		for _, v := range row {
+			if v != 0 && v != 1 {
+				t.Fatalf("non-binary value %v", v)
+			}
+			if v == 1 {
+				ones++
+			}
+		}
+	}
+	if ones == 0 {
+		t.Fatalf("binarization produced all-zero vectors")
+	}
+}
+
+func TestFilterAndCategories(t *testing.T) {
+	ds := smallDataset(t)
+	mal := ds.Filter(func(s *Sample) bool { return s.Label == workload.Malicious })
+	if b, _ := mal.ClassCounts(); b != 0 {
+		t.Fatalf("filter leaked benign samples")
+	}
+	cats := ds.Categories()
+	if len(cats) != 2 {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestProject(t *testing.T) {
+	X := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	P := Project(X, []int{2, 0})
+	if P[0][0] != 3 || P[0][1] != 1 || P[1][0] != 6 || P[1][1] != 4 {
+		t.Fatalf("projection wrong: %v", P)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, ds.Components)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(ds.Samples) {
+		t.Fatalf("sample count %d != %d", len(back.Samples), len(ds.Samples))
+	}
+	if back.Interval != ds.Interval {
+		t.Fatalf("interval %d != %d", back.Interval, ds.Interval)
+	}
+	for i := range ds.Samples {
+		a, b := &ds.Samples[i], &back.Samples[i]
+		if a.Program != b.Program || a.Label != b.Label || a.Index != b.Index {
+			t.Fatalf("metadata mismatch at %d", i)
+		}
+		for j := range a.Raw {
+			if a.Raw[j] != b.Raw[j] {
+				t.Fatalf("value mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n"), nil); err == nil {
+		t.Fatalf("short header accepted")
+	}
+	bad := "program,category,channel,label,run,index,interval,f1\np,c,ch,benign,x,0,10,1\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), nil); err == nil {
+		t.Fatalf("bad run column accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	ds := smallDataset(t)
+	if ds.Summary() == "" {
+		t.Fatalf("empty summary")
+	}
+}

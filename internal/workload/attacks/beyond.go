@@ -1,0 +1,74 @@
+package attacks
+
+import (
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+)
+
+// The attacks in this file are deliberately NOT in TrainingSet: the paper
+// excludes them (§II footnote 1 excludes "some variants of speculation
+// attacks ... and RowHammer attacks"; footnote 5 predicts RowHammer's
+// flush-heavy footprint would be caught). They exist to test zero-day
+// generalization beyond the paper's own holdouts.
+
+// SpectreV4 returns the speculative-store-bypass attack: a store whose
+// address resolves late is speculatively bypassed by a younger load, which
+// reads stale (secret) data and transmits it through the channel before the
+// memory-order violation replays it.
+func SpectreV4(channel string) workload.Program {
+	ch := NewChannel(channel)
+	return workload.NewLoop(
+		workload.Info{Name: "spectreV4-" + ch.Name(), Label: workload.Malicious,
+			Category: "spectre_v4", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) {
+			ch.Setup(b)
+			secret := b.R.Intn(nProbe)
+			slot := workload.VictimBase + 0x8000 + uint64(b.Iteration()%16)*64
+			// The sanitizing store overwrites the secret, but its address
+			// comes off a slow dependency chain.
+			b.PlainN(isa.IntAlu, 3) // the slow address computation
+			b.Emit(isa.Op{Kind: isa.KindStore, Class: isa.MemWrite,
+				Addr: slot, AddrDelayed: true})
+			// The younger load bypasses the store, reads the stale secret
+			// and transmits it before the replay squashes the window.
+			b.Emit(isa.Op{Kind: isa.KindLoad, Class: isa.MemRead, Addr: slot,
+				Transient: []isa.Op{
+					{Kind: isa.KindLoad, Class: isa.MemRead,
+						Addr: ch.TransmitAddr(secret), DependsOnPrev: true},
+				}})
+			ch.Recover(b)
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteV1Loop, true)
+		},
+	)
+}
+
+// RowHammer returns a double-sided rowhammer kernel: it alternates loads to
+// two aggressor rows of the same DRAM bank with CLFLUSH between accesses so
+// every load reaches the array, maximizing the row-activation rate. The
+// paper's footnote 5 predicts PerSpectron's flush- and DRAM-derived
+// features would flag it; this generator lets the claim be tested.
+func RowHammer() workload.Program {
+	// Two rows of bank 0: row stride is RowBytes * Banks in line-
+	// interleaved addressing (8 KiB rows, 8 banks).
+	const rowStride = 8192 * 8
+	aggressorA := uint64(workload.DataBase)
+	aggressorB := uint64(workload.DataBase + 2*rowStride)
+	return workload.NewLoop(
+		workload.Info{Name: "rowhammer", Label: workload.Malicious,
+			Category: "rowhammer", Channel: ""},
+		nil,
+		func(b *workload.Builder) {
+			for i := 0; i < 16; i++ {
+				b.Load(aggressorA)
+				b.Load(aggressorB)
+				b.Flush(aggressorA)
+				b.Flush(aggressorB)
+			}
+			b.MarkLeak() // one hammer burst completed
+			b.Plain(isa.IntAlu)
+			b.Branch(siteCalLoop+1, true)
+		},
+	)
+}

@@ -1,0 +1,63 @@
+package attacks
+
+import (
+	"testing"
+
+	"perspectron/internal/isa"
+)
+
+func TestSpectreV4StoreBypassStructure(t *testing.T) {
+	ops := drain(SpectreV4("fr"), 600, 1)
+	delayed := 0
+	bypassLoads := 0
+	for i := range ops {
+		if ops[i].Kind == isa.KindStore && ops[i].AddrDelayed {
+			delayed++
+			// The next memory op to the same line must be the bypassing
+			// load carrying the transmit gadget.
+			for j := i + 1; j < len(ops); j++ {
+				if ops[j].Kind == isa.KindLoad && ops[j].Addr == ops[i].Addr {
+					if len(ops[j].Transient) == 0 {
+						t.Fatalf("bypassing load carries no gadget")
+					}
+					bypassLoads++
+					break
+				}
+			}
+		}
+	}
+	if delayed == 0 || bypassLoads == 0 {
+		t.Fatalf("v4 structure missing: %d delayed stores, %d bypass loads", delayed, bypassLoads)
+	}
+}
+
+func TestSpectreV4NotInTrainingSet(t *testing.T) {
+	for _, p := range TrainingSet() {
+		if p.Info().Category == "spectre_v4" || p.Info().Category == "rowhammer" {
+			t.Fatalf("%s leaked into the training set", p.Info().Name)
+		}
+	}
+}
+
+func TestRowHammerAlternatesRowsWithFlushes(t *testing.T) {
+	ops := drain(RowHammer(), 500, 1)
+	loads := count(ops, func(o *isa.Op) bool { return o.Kind == isa.KindLoad })
+	flushes := count(ops, func(o *isa.Op) bool { return o.Kind == isa.KindFlush })
+	if loads == 0 || flushes == 0 {
+		t.Fatalf("hammer loop incomplete: %d loads %d flushes", loads, flushes)
+	}
+	// One flush per load: every access must reach the DRAM array.
+	if flushes < loads*9/10 {
+		t.Fatalf("flush/load ratio too low: %d/%d", flushes, loads)
+	}
+	// Exactly two aggressor addresses.
+	addrs := map[uint64]bool{}
+	for i := range ops {
+		if ops[i].Kind == isa.KindLoad {
+			addrs[ops[i].Addr] = true
+		}
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("aggressor addresses = %d, want 2", len(addrs))
+	}
+}

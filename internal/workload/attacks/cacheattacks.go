@@ -1,0 +1,162 @@
+package attacks
+
+import (
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+)
+
+// nMonitored is the number of shared lines a standalone cache attack
+// monitors.
+const nMonitored = 32
+
+// victimWait is the quiesce duration of the wait-for-victim phase, in
+// cycles.
+const victimWait = 600
+
+// sharedLine returns the i'th monitored shared-library line.
+func sharedLine(i int) uint64 {
+	return workload.SharedBase + uint64(i)*workload.ProbeStride
+}
+
+// victimActivity simulates the victim process touching a random subset of
+// the monitored shared lines while the attacker waits.
+func victimActivity(b *workload.Builder) {
+	n := 1 + b.R.Intn(4)
+	for i := 0; i < n; i++ {
+		b.LoadShared(sharedLine(b.R.Intn(nMonitored)))
+		b.Plain(isa.IntAlu)
+		b.Branch(siteVictimLoop, true)
+	}
+}
+
+// FlushReload returns the standalone Flush+Reload attack on shared library
+// pages.
+func FlushReload() workload.Program {
+	return workload.NewLoop(
+		workload.Info{Name: "flush+reload", Label: workload.Malicious,
+			Category: "flush_reload", Channel: "fr"},
+		nil,
+		func(b *workload.Builder) {
+			// Flush phase.
+			for i := 0; i < nMonitored; i++ {
+				b.Flush(sharedLine(i))
+			}
+			// Wait for the victim (quiesce) — the attacker's pipeline goes
+			// idle while the victim runs.
+			b.Quiesce(victimWait)
+			victimActivity(b)
+			// Reload phase: timed loads of every monitored line.
+			for i := 0; i < nMonitored; i++ {
+				b.TimedLoad(sharedLine(i), true)
+			}
+			b.MarkLeak()
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteFRLoop, true)
+		},
+	)
+}
+
+// FlushFlush returns the stealthy Flush+Flush attack: the attacker issues
+// no loads and takes no cache misses of its own; the signal is the flush
+// instruction's own latency.
+func FlushFlush() workload.Program {
+	return workload.NewLoop(
+		workload.Info{Name: "flush+flush", Label: workload.Malicious,
+			Category: "flush_flush", Channel: "ff"},
+		nil,
+		func(b *workload.Builder) {
+			// The timed flush both probes and resets each line.
+			for i := 0; i < nMonitored; i++ {
+				b.TimedFlush(sharedLine(i))
+			}
+			b.MarkLeak()
+			b.Quiesce(victimWait)
+			victimActivity(b)
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteFFLoop, true)
+		},
+	)
+}
+
+// PrimeProbe returns the standalone Prime+Probe attack on L1D sets: no
+// flush instructions and no shared memory, only conflict evictions.
+func PrimeProbe() workload.Program {
+	const sets = 16
+	const ways = 8
+	const setCount = 128 // Table II L1D geometry
+	line := func(s, w int) uint64 {
+		return workload.DataBase + uint64(s)*64 + uint64(w)*setCount*64
+	}
+	victimLine := func(s int) uint64 {
+		return workload.VictimBase + uint64(s)*64 + setCount*64*11
+	}
+	return workload.NewLoop(
+		workload.Info{Name: "prime+probe", Label: workload.Malicious,
+			Category: "prime_probe", Channel: "pp"},
+		nil,
+		func(b *workload.Builder) {
+			// Prime: fill the monitored sets with the attacker's lines.
+			for s := 0; s < sets; s++ {
+				for w := 0; w < ways; w++ {
+					b.Load(line(s, w))
+				}
+			}
+			b.Quiesce(victimWait)
+			// Victim evicts attacker lines from a few sets.
+			n := 1 + b.R.Intn(3)
+			for i := 0; i < n; i++ {
+				b.Load(victimLine(b.R.Intn(sets)))
+				b.Branch(siteVictimLoop, true)
+			}
+			// Probe: timed reloads observe the evictions.
+			for s := 0; s < sets; s++ {
+				for w := 0; w < ways; w++ {
+					b.TimedLoad(line(s, w), false)
+				}
+			}
+			b.MarkLeak()
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(sitePPLoop, true)
+		},
+	)
+}
+
+// Calibration returns the threshold-calibration loop for the given cache
+// attack technique ("fr", "ff" or "pp"): the profiling phase that times
+// cache hits versus misses, which the paper also labels suspicious.
+func Calibration(kind string) workload.Program {
+	info := workload.Info{Name: "calibration-" + kind, Label: workload.Malicious,
+		Category: "calibration_" + kind, Channel: kind}
+	target := uint64(workload.DataBase + 0x2000)
+	switch kind {
+	case "ff":
+		return workload.NewLoop(info, nil, func(b *workload.Builder) {
+			b.Load(target)          // line cached
+			b.TimedFlush(target)    // slow flush (present)
+			b.TimedFlush(target)    // fast flush (absent)
+			b.PlainN(isa.IntAlu, 6) // histogram bookkeeping
+			b.Branch(siteCalLoop, true)
+		})
+	case "pp":
+		const setCount = 128
+		return workload.NewLoop(info, nil, func(b *workload.Builder) {
+			b.Load(target)
+			b.TimedLoad(target, false) // hit timing
+			for w := 1; w <= 8; w++ {  // evict via conflicts
+				b.Load(target + uint64(w)*setCount*64)
+			}
+			b.TimedLoad(target, false) // miss timing
+			b.PlainN(isa.IntAlu, 6)
+			b.Branch(siteCalLoop, true)
+		})
+	default: // "fr"
+		return workload.NewLoop(info, nil, func(b *workload.Builder) {
+			b.Load(target)
+			b.TimedLoad(target, false) // hit timing
+			b.Flush(target)
+			b.TimedLoad(target, false) // miss timing
+			b.PlainN(isa.IntAlu, 6)
+			b.Branch(siteCalLoop, true)
+		})
+	}
+}

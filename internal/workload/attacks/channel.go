@@ -1,0 +1,166 @@
+// Package attacks implements phase-structured generators for every attack
+// the paper trains on or holds out: SpectreV1, SpectreV2, SpectreRSB,
+// Meltdown, breakingKASLR, CacheOut, Flush+Flush, Flush+Reload, Prime+Probe
+// and the cache-attack calibration loops, plus the polymorphic-evasion
+// transforms of §VI-A1 and the bandwidth-reduction wrapper of §VI-A2.
+//
+// Each generator reproduces the documented microarchitectural mechanism of
+// its attack — mistraining a predictor structure, deferring a permission
+// fault, flushing shared lines — so the counter footprints arise from the
+// simulated hardware, not from the labels.
+package attacks
+
+import (
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+)
+
+// nProbe is the number of probe-array entries monitored per iteration (one
+// per possible secret value; 64 keeps iterations compact while preserving
+// the transmit/recover structure).
+const nProbe = 64
+
+// Channel is a cache disclosure channel used by the speculative attacks to
+// transmit and recover the secret: Flush+Reload ("fr"), Flush+Flush ("ff")
+// or Prime+Probe ("pp"). The paper's cross-validation deliberately pairs
+// attacks with different channels across folds (§VI-B).
+type Channel interface {
+	Name() string
+	// Setup places the channel into its initial state (flush lines, prime
+	// sets) before the speculation phase.
+	Setup(b *workload.Builder)
+	// TransmitAddr returns the address the transient gadget touches to
+	// encode the secret value.
+	TransmitAddr(secret int) uint64
+	// Recover reads the channel back (timed loads, flushes or probes) and
+	// marks the leak point.
+	Recover(b *workload.Builder)
+}
+
+// FRChannel is a Flush+Reload channel over the attacker's probe array.
+type FRChannel struct{ Base uint64 }
+
+// NewFRChannel returns a Flush+Reload channel at the default probe base.
+func NewFRChannel() *FRChannel { return &FRChannel{Base: workload.ProbeBase} }
+
+// Name implements Channel.
+func (c *FRChannel) Name() string { return "fr" }
+
+// Setup flushes every probe line.
+func (c *FRChannel) Setup(b *workload.Builder) {
+	for i := 0; i < nProbe; i++ {
+		b.Flush(c.Base + uint64(i)*workload.ProbeStride)
+	}
+}
+
+// TransmitAddr implements Channel.
+func (c *FRChannel) TransmitAddr(secret int) uint64 {
+	return c.Base + uint64(secret)*workload.ProbeStride
+}
+
+// Recover reloads every probe line with timing fences.
+func (c *FRChannel) Recover(b *workload.Builder) {
+	for i := 0; i < nProbe; i++ {
+		b.TimedLoad(c.Base+uint64(i)*workload.ProbeStride, false)
+	}
+	b.MarkLeak()
+}
+
+// FFChannel is a Flush+Flush channel: recovery times the flush itself.
+type FFChannel struct{ Base uint64 }
+
+// NewFFChannel returns a Flush+Flush channel at the default probe base.
+func NewFFChannel() *FFChannel { return &FFChannel{Base: workload.ProbeBase} }
+
+// Name implements Channel.
+func (c *FFChannel) Name() string { return "ff" }
+
+// Setup flushes every probe line.
+func (c *FFChannel) Setup(b *workload.Builder) {
+	for i := 0; i < nProbe; i++ {
+		b.Flush(c.Base + uint64(i)*workload.ProbeStride)
+	}
+}
+
+// TransmitAddr implements Channel.
+func (c *FFChannel) TransmitAddr(secret int) uint64 {
+	return c.Base + uint64(secret)*workload.ProbeStride
+}
+
+// Recover times a flush of every probe line (no loads, no attacker misses —
+// the stealth property the paper highlights).
+func (c *FFChannel) Recover(b *workload.Builder) {
+	for i := 0; i < nProbe; i++ {
+		b.TimedFlush(c.Base + uint64(i)*workload.ProbeStride)
+	}
+	b.MarkLeak()
+}
+
+// PPChannel is a Prime+Probe channel over L1D sets: no flushes and no shared
+// memory.
+type PPChannel struct {
+	Base     uint64
+	Sets     int // number of monitored sets
+	Ways     int // lines per set to prime
+	SetCount int // total L1D sets (stride derivation)
+}
+
+// NewPPChannel returns a Prime+Probe channel matched to the Table II L1D
+// (128 sets, 8 ways).
+func NewPPChannel() *PPChannel {
+	return &PPChannel{Base: workload.ProbeBase, Sets: 16, Ways: 8, SetCount: 128}
+}
+
+func (c *PPChannel) lineAddr(set, way int) uint64 {
+	return c.Base + uint64(set)*64 + uint64(way)*uint64(c.SetCount)*64
+}
+
+// Name implements Channel.
+func (c *PPChannel) Name() string { return "pp" }
+
+// Setup primes the monitored sets with the attacker's own lines.
+func (c *PPChannel) Setup(b *workload.Builder) {
+	for s := 0; s < c.Sets; s++ {
+		for w := 0; w < c.Ways; w++ {
+			b.Load(c.lineAddr(s, w))
+		}
+	}
+}
+
+// TransmitAddr maps the secret onto a victim line that conflicts with one of
+// the primed sets, evicting the attacker's line there.
+func (c *PPChannel) TransmitAddr(secret int) uint64 {
+	set := secret % c.Sets
+	return workload.VictimBase + uint64(set)*64 + uint64(c.SetCount)*64*9
+}
+
+// Recover probes the primed sets with timed loads.
+func (c *PPChannel) Recover(b *workload.Builder) {
+	for s := 0; s < c.Sets; s++ {
+		for w := 0; w < c.Ways; w++ {
+			b.TimedLoad(c.lineAddr(s, w), false)
+		}
+	}
+	b.MarkLeak()
+}
+
+// NewChannel returns the channel with the given name ("fr", "ff" or "pp").
+func NewChannel(name string) Channel {
+	switch name {
+	case "ff":
+		return NewFFChannel()
+	case "pp":
+		return NewPPChannel()
+	default:
+		return NewFRChannel()
+	}
+}
+
+// gadget builds the canonical two-load disclosure gadget: the secret access
+// followed by the secret-dependent transmit access.
+func gadget(ch Channel, secretAddr uint64, secret int) []isa.Op {
+	return []isa.Op{
+		{Kind: isa.KindLoad, Class: isa.MemRead, Addr: secretAddr},
+		{Kind: isa.KindLoad, Class: isa.MemRead, Addr: ch.TransmitAddr(secret), DependsOnPrev: true},
+	}
+}

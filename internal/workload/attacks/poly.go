@@ -1,0 +1,203 @@
+package attacks
+
+import (
+	"fmt"
+
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+)
+
+// polyTransform describes one polymorphic SpectreV1 variant from §VI-A1.
+// Each transform perturbs the committed-path instruction mix (defeating
+// signature and instruction-distribution detectors) while leaving the
+// microarchitectural attack mechanism — mistrain, transient leak, recover —
+// intact and at the same leakage frequency.
+type polyTransform struct {
+	name string
+	// preIteration / preCheck / postIteration inject committed-path ops at
+	// the corresponding skeleton positions.
+	preIterationF  func(b *workload.Builder)
+	preCheckF      func(b *workload.Builder)
+	postIterationF func(b *workload.Builder)
+	// gadgetF rewrites the transient body.
+	gadgetF func(body []isa.Op) []isa.Op
+}
+
+func (p *polyTransform) preIteration(b *workload.Builder) {
+	if p.preIterationF != nil {
+		p.preIterationF(b)
+	}
+}
+
+func (p *polyTransform) preCheck(b *workload.Builder) {
+	if p.preCheckF != nil {
+		p.preCheckF(b)
+	}
+}
+
+func (p *polyTransform) postIteration(b *workload.Builder) {
+	if p.postIterationF != nil {
+		p.postIterationF(b)
+	}
+}
+
+func (p *polyTransform) transformGadget(body []isa.Op) []isa.Op {
+	if p.gadgetF != nil {
+		return p.gadgetF(body)
+	}
+	return body
+}
+
+// aluN returns a hook emitting n IntAlu ops.
+func aluN(n int) func(*workload.Builder) {
+	return func(b *workload.Builder) { b.PlainN(isa.IntAlu, n) }
+}
+
+// prependTransient prepends extra transient ops to the gadget.
+func prependTransient(extra ...isa.Op) func([]isa.Op) []isa.Op {
+	return func(body []isa.Op) []isa.Op {
+		return append(append([]isa.Op{}, extra...), body...)
+	}
+}
+
+// PolyVariants lists the 12 source-level transformations of §VI-A1, in the
+// paper's order.
+var PolyVariants = []string{
+	"leak-in-noinline-fn",
+	"left-shift-index",
+	"x-as-loop-initial",
+	"and-mask-bounds",
+	"compare-last-good",
+	"separate-safety-value",
+	"leak-comparison-result",
+	"index-sum-of-params",
+	"inline-safety-check",
+	"invert-low-bits",
+	"memcmp-leak",
+	"pointer-to-length",
+}
+
+// polyTransformFor builds the transform for variant index v (0..11).
+func polyTransformFor(v int) *polyTransform {
+	name := PolyVariants[v%len(PolyVariants)]
+	t := &polyTransform{name: name}
+	switch v % len(PolyVariants) {
+	case 0: // leak moved to a non-inlined function: call/ret around the leak
+		t.preCheckF = func(b *workload.Builder) {
+			b.Call(sitePolyExtra, workload.CodeBase+0xc000)
+			b.Plain(isa.IntAlu)
+			b.Ret(sitePolyExtra+1, workload.SitePC(sitePolyExtra)+4, nil)
+		}
+	case 1: // left shift by one on the index
+		t.preCheckF = aluN(1)
+		t.gadgetF = prependTransient(isa.Op{Kind: isa.KindPlain, Class: isa.SimdShift})
+	case 2: // use x as the initial value in a for() loop
+		t.preIterationF = func(b *workload.Builder) {
+			for i := 0; i < 3; i++ {
+				b.Plain(isa.IntAlu)
+				b.Branch(sitePolyExtra+2, i < 2)
+			}
+		}
+	case 3: // bounds check with an AND mask rather than <
+		t.preCheckF = aluN(2)
+	case 4: // compare against the last-known good value
+		t.preCheckF = func(b *workload.Builder) {
+			b.Load(workload.DataBase + 0x3000)
+			b.Plain(isa.IntAlu)
+		}
+	case 5: // separate value communicates the safety check
+		t.preCheckF = func(b *workload.Builder) {
+			b.Load(workload.DataBase + 0x3040)
+			b.Store(workload.DataBase + 0x3080)
+		}
+	case 6: // leak a comparison result
+		t.gadgetF = prependTransient(isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu})
+	case 7: // index is the sum of two input parameters
+		t.preCheckF = aluN(2)
+	case 8: // safety check in an inline function: tighter code
+		t.preCheckF = nil // fewer committed ops than baseline
+	case 9: // invert the low bits of x
+		t.preCheckF = aluN(1)
+		t.gadgetF = prependTransient(isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu})
+	case 10: // use memcmp() to read the memory for the leak
+		t.gadgetF = func(body []isa.Op) []isa.Op {
+			out := append([]isa.Op{}, body...)
+			for i := 0; i < 3; i++ {
+				out = append(out, isa.Op{Kind: isa.KindLoad, Class: isa.MemRead,
+					Addr: workload.DataBase + 0x4000 + uint64(i)*64})
+			}
+			return out
+		}
+	case 11: // pass a pointer to the length
+		t.preCheckF = func(b *workload.Builder) {
+			b.Load(workload.DataBase + 0x30c0)
+		}
+	}
+	return t
+}
+
+// SpectreV1Poly returns polymorphic variant v (0..11) of SpectreV1, with the
+// same channel and leakage frequency as the baseline. These variants were
+// never used in feature selection or training — they exist to test evasion
+// resilience (Fig. 3).
+func SpectreV1Poly(v int, channel string) workload.Program {
+	ch := NewChannel(channel)
+	t := polyTransformFor(v)
+	return workload.NewLoop(
+		workload.Info{Name: "spectreV1-poly-" + t.name, Label: workload.Malicious,
+			Category: "spectre_v1_poly", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) { spectreV1Iter(b, ch, t) },
+	)
+}
+
+// bandwidthBurstIters is how many attack iterations run back-to-back before
+// the safe-code block. Li & Gaudiot's evasive Spectre (§VI-A2) completes all
+// its atomic tasks at full rate and only then goes quiet, so bandwidth
+// reduction is bursty: full-rate attack phases separated by safe filler
+// whose length sets the duty cycle. The burst (~48 iterations ≈ 14K ops)
+// spans multiple 10K-instruction sampling intervals, which is precisely why
+// the paper's fine-grained hardware sampler cannot be evaded this way.
+const bandwidthBurstIters = 48
+
+// Bandwidth wraps an attack program, reducing its leakage bandwidth to
+// factor (0 < factor <= 1): bursts of bandwidthBurstIters unmodified
+// iterations are followed by contiguous safe code sized so the long-run
+// attack duty cycle is factor (safe code before the priming phase and after
+// the disclosure primitive, per §VI-A2). The filler does not touch branch
+// history sites or the probe lines.
+func Bandwidth(p workload.Program, factor float64) workload.Program {
+	if factor >= 1 {
+		return p
+	}
+	lp, ok := p.(*workload.LoopProgram)
+	if !ok {
+		return p
+	}
+	info := p.Info()
+	info.Name = fmt.Sprintf("%s-bw%.2f", info.Name, factor)
+	return workload.NewLoop(info, nil, func(b *workload.Builder) {
+		before := len(b.Pending())
+		for i := 0; i < bandwidthBurstIters; i++ {
+			lp.Iter()(b)
+		}
+		burstLen := len(b.Pending()) - before
+		filler := int(float64(burstLen) * (1 - factor) / factor)
+		fillerOps(b, filler)
+	})
+}
+
+// fillerOps emits n ops of benign-looking filler (integer work, predictable
+// branches, small local loads).
+func fillerOps(b *workload.Builder, n int) {
+	for i := 0; i < n; i++ {
+		switch i % 8 {
+		case 0:
+			b.Load(workload.HeapBase + uint64(b.R.Intn(64))*64)
+		case 4:
+			b.Branch(sitePolyExtra+3, true) // well-predicted loop branch
+		default:
+			b.Plain(isa.IntAlu)
+		}
+	}
+}

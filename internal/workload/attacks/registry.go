@@ -1,0 +1,59 @@
+package attacks
+
+import "perspectron/internal/workload"
+
+// TrainingSet returns the attacks the paper's base dataset contains, with
+// their default disclosure channels (§V Data).
+func TrainingSet() []workload.Program {
+	return []workload.Program{
+		SpectreV1("fr"),
+		SpectreV2("fr"),
+		SpectreRSB("fr"),
+		Meltdown("fr"),
+		BreakingKASLR(),
+		CacheOut("fr"),
+		FlushReload(),
+		FlushFlush(),
+		PrimeProbe(),
+		Calibration("fr"),
+		Calibration("ff"),
+		Calibration("pp"),
+	}
+}
+
+// WithChannel returns the named attack re-parameterized on a specific
+// disclosure channel; the paper's CV folds pair train/test attacks with
+// different channels (§VI-B).
+func WithChannel(category, channel string) workload.Program {
+	switch category {
+	case "spectre_v1":
+		return SpectreV1(channel)
+	case "spectre_v2":
+		return SpectreV2(channel)
+	case "spectre_rsb":
+		return SpectreRSB(channel)
+	case "meltdown":
+		return Meltdown(channel)
+	case "cacheout":
+		return CacheOut(channel)
+	case "breaking_kslr":
+		return BreakingKASLR()
+	case "flush_reload":
+		return FlushReload()
+	case "flush_flush":
+		return FlushFlush()
+	case "prime_probe":
+		return PrimeProbe()
+	default:
+		return nil
+	}
+}
+
+// AllPolymorphic returns the 12 SpectreV1 evasion variants of §VI-A1.
+func AllPolymorphic(channel string) []workload.Program {
+	out := make([]workload.Program, len(PolyVariants))
+	for i := range PolyVariants {
+		out[i] = SpectreV1Poly(i, channel)
+	}
+	return out
+}

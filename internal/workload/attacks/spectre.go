@@ -1,0 +1,231 @@
+package attacks
+
+import (
+	"perspectron/internal/isa"
+	"perspectron/internal/tlb"
+	"perspectron/internal/workload"
+)
+
+// Stable branch-site labels, one per attack code location.
+const (
+	siteV1Train = iota + 1
+	siteV1Loop
+	siteV2Branch
+	siteRSBCall
+	siteRSBRet
+	siteMeltLoop
+	siteKASLRLoop
+	siteCacheOutBr
+	siteFRLoop
+	siteFFLoop
+	sitePPLoop
+	siteCalLoop
+	siteVictimLoop
+	sitePolyExtra
+)
+
+// trainIters is the minimum number of in-bounds iterations used to mistrain
+// a predictor before each speculation burst. Real PoCs randomize the count
+// (trainIters..trainIters+4) so the local-history predictor cannot lock on
+// to a periodic train/attack pattern and predict the attack iteration.
+const trainIters = 5
+
+// mistrainCount returns this iteration's randomized training length.
+func mistrainCount(b *workload.Builder) int {
+	return trainIters + b.R.Intn(5)
+}
+
+// SpectreV1 returns the bounds-check-bypass attack using the given
+// disclosure channel.
+func SpectreV1(channel string) workload.Program {
+	ch := NewChannel(channel)
+	return workload.NewLoop(
+		workload.Info{Name: "spectreV1-" + ch.Name(), Label: workload.Malicious,
+			Category: "spectre_v1", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) { spectreV1Iter(b, ch, nil) },
+	)
+}
+
+// spectreV1Iter emits one SpectreV1 iteration. poly optionally transforms
+// the emitted skeleton (polymorphic evasion variants).
+func spectreV1Iter(b *workload.Builder, ch Channel, poly *polyTransform) {
+	if poly != nil {
+		poly.preIteration(b)
+	}
+	ch.Setup(b)
+
+	// Mistrain the bounds-check branch with in-bounds accesses; the count
+	// is randomized so the pattern stays unpredictable.
+	for i, n := 0, mistrainCount(b); i < n; i++ {
+		if poly != nil {
+			poly.preCheck(b)
+		}
+		b.Branch(siteV1Train, true)
+		b.Load(workload.DataBase + uint64(i%8)*64)
+		b.Plain(isa.IntAlu)
+	}
+
+	// Out-of-bounds access: the branch resolves not-taken but is predicted
+	// taken; the transient gadget reads the secret and transmits it.
+	secret := b.R.Intn(nProbe)
+	body := gadget(ch, workload.VictimBase+uint64(secret)*8, secret)
+	if poly != nil {
+		body = poly.transformGadget(body)
+		poly.preCheck(b)
+	}
+	b.BranchTransient(siteV1Train, false, body)
+
+	ch.Recover(b)
+	// Loop-control overhead of the attack's outer loop.
+	b.PlainN(isa.IntAlu, 4)
+	b.Branch(siteV1Loop, true)
+	if poly != nil {
+		poly.postIteration(b)
+	}
+}
+
+// SpectreV2 returns the branch-target-injection attack: an indirect branch
+// is mistrained to a gadget address, then the victim's use of the same
+// branch speculatively executes the gadget.
+func SpectreV2(channel string) workload.Program {
+	ch := NewChannel(channel)
+	const gadgetAddr = workload.CodeBase + 0x8000
+	const victimAddr = workload.CodeBase + 0x9000
+	return workload.NewLoop(
+		workload.Info{Name: "spectreV2-" + ch.Name(), Label: workload.Malicious,
+			Category: "spectre_v2", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) {
+			ch.Setup(b)
+			// Mistrain the BTB/indirect predictor toward the gadget.
+			for i, n := 0, mistrainCount(b); i < n; i++ {
+				b.Indirect(siteV2Branch, gadgetAddr, nil)
+				b.Plain(isa.IntAlu)
+			}
+			// Victim context: same indirect branch, real target differs;
+			// speculation runs the planted gadget.
+			secret := b.R.Intn(nProbe)
+			b.Indirect(siteV2Branch, victimAddr,
+				gadget(ch, workload.VictimBase+uint64(secret)*8, secret))
+			ch.Recover(b)
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteV1Loop, true)
+		},
+	)
+}
+
+// SpectreRSB returns the return-stack-buffer attack: an unbalanced
+// call/return pair redirects speculative control flow to the gadget.
+func SpectreRSB(channel string) workload.Program {
+	ch := NewChannel(channel)
+	const fnAddr = workload.CodeBase + 0xa000
+	const hijack = workload.CodeBase + 0xb000
+	return workload.NewLoop(
+		workload.Info{Name: "spectreRSB-" + ch.Name(), Label: workload.Malicious,
+			Category: "spectre_rsb", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) {
+			ch.Setup(b)
+			secret := b.R.Intn(nProbe)
+			// Call pushes the return address on the RAS; the attacker then
+			// overwrites the architectural return address, so the return
+			// mispredicts from the RAS and speculatively runs the gadget.
+			b.Call(siteRSBCall, fnAddr)
+			b.PlainN(isa.IntAlu, 3)
+			b.Store(workload.DataBase + 0x100) // smash the stack slot
+			b.Ret(siteRSBRet, hijack,
+				gadget(ch, workload.VictimBase+uint64(secret)*8, secret))
+			ch.Recover(b)
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteV1Loop, true)
+		},
+	)
+}
+
+// Meltdown returns the deferred-permission-fault attack reading kernel
+// memory.
+func Meltdown(channel string) workload.Program {
+	ch := NewChannel(channel)
+	return workload.NewLoop(
+		workload.Info{Name: "meltdown-" + ch.Name(), Label: workload.Malicious,
+			Category: "meltdown", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) {
+			ch.Setup(b)
+			secret := b.R.Intn(nProbe)
+			// The kernel load permission-faults at commit; the transient
+			// window transmits through the channel first.
+			b.FaultingLoad(tlb.KernelBase+uint64(b.Iteration()%4096)*8,
+				[]isa.Op{{Kind: isa.KindLoad, Class: isa.MemRead,
+					Addr: ch.TransmitAddr(secret), DependsOnPrev: true}})
+			// Signal-handler recovery after the trap.
+			b.PlainN(isa.IntAlu, 12)
+			ch.Recover(b)
+			b.Branch(siteMeltLoop, true)
+		},
+	)
+}
+
+// BreakingKASLR returns the Meltdown-based KASLR break: it sweeps candidate
+// kernel addresses, distinguishing mapped (permission fault) from unmapped
+// (page fault) pages by fault/TLB behaviour.
+func BreakingKASLR() workload.Program {
+	return workload.NewLoop(
+		workload.Info{Name: "breakingKSLR", Label: workload.Malicious,
+			Category: "breaking_kslr", Channel: "fr"},
+		nil,
+		func(b *workload.Builder) {
+			step := uint64(b.Iteration()) * (2 << 20) // 2 MiB stride sweep
+			var addr uint64
+			if b.Iteration()%16 == 0 {
+				addr = tlb.KernelBase + step%(1<<30) // a mapped kernel page
+			} else {
+				addr = tlb.Unmapped + step%(1<<30) // unmapped candidate
+			}
+			b.FaultingLoad(addr, nil)
+			b.PlainN(isa.IntAlu, 10) // fault-handler recovery
+			b.TimedLoad(workload.DataBase+0x40, false)
+			if b.Iteration()%16 == 0 {
+				b.MarkLeak() // located a mapped region
+			}
+			b.Branch(siteKASLRLoop, true)
+		},
+	)
+}
+
+// CacheOut returns the MDS/L1D-eviction attack: victim data is pushed
+// through the line fill buffer by conflict evictions, sampled by a transient
+// fill-buffer read, and disclosed through the channel.
+func CacheOut(channel string) workload.Program {
+	ch := NewChannel(channel)
+	return workload.NewLoop(
+		workload.Info{Name: "cacheOut-" + ch.Name(), Label: workload.Malicious,
+			Category: "cacheout", Channel: ch.Name()},
+		nil,
+		func(b *workload.Builder) {
+			ch.Setup(b)
+			// Evict the victim's L1D set so its line transits the fill
+			// buffer on the victim's next access.
+			for w := 0; w < 9; w++ {
+				b.Load(workload.DataBase + uint64(w)*128*64)
+			}
+			// Victim touches its data (refill through the LFB).
+			b.LoadShared(workload.SharedBase + uint64(b.Iteration()%8)*64)
+			// Mistrained branch opens the transient window; the gadget
+			// samples the fill buffer and transmits.
+			for i, n := 0, mistrainCount(b); i < n; i++ {
+				b.Branch(siteCacheOutBr, true)
+				b.Plain(isa.IntAlu)
+			}
+			secret := b.R.Intn(nProbe)
+			b.BranchTransient(siteCacheOutBr, false, []isa.Op{
+				{Kind: isa.KindLoad, Class: isa.MemRead, Addr: workload.DataBase, FBRead: true},
+				{Kind: isa.KindLoad, Class: isa.MemRead,
+					Addr: ch.TransmitAddr(secret), DependsOnPrev: true},
+			})
+			ch.Recover(b)
+			b.Branch(siteV1Loop, true)
+		},
+	)
+}

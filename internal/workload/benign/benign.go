@@ -1,0 +1,362 @@
+// Package benign implements SPEC CPU 2006-like synthetic kernels as benign
+// workloads. Each kernel stresses a published behavioural profile of its
+// namesake — branchy game-tree search (gobmk, sjeng), pointer chasing (mcf,
+// astar), compression (bzip2), compilation (gcc), media streaming (h264ref),
+// and floating-point science (povray, dealII) — so the benign corpus covers
+// the memory-, branch- and interrupt-intensive programs the paper reports
+// as false-positive-prone for weaker detectors.
+package benign
+
+import (
+	"math/rand"
+
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+)
+
+// Benign site labels start high so they never collide with attack sites.
+const siteBase = 100
+
+func info(name string) workload.Info {
+	return workload.Info{Name: name, Label: workload.Benign, Category: "spec_benign"}
+}
+
+// randLine returns a random line-aligned address inside a region of n lines.
+func randLine(r *rand.Rand, base uint64, lines int) uint64 {
+	return base + uint64(r.Intn(lines))*64
+}
+
+// Bzip2 models compression: block-sequential loads/stores with
+// data-dependent but learnable branches and heavy integer work.
+func Bzip2() workload.Program {
+	return workload.NewLoop(info("bzip2"), nil, func(b *workload.Builder) {
+		// Stream position derives from the iteration counter so that every
+		// Stream() of this Program is independent.
+		pos := (uint64(b.Iteration()-1) * 32 * 64) % (1 << 20)
+		for i := 0; i < 32; i++ {
+			b.Load(workload.HeapBase + pos)
+			pos = (pos + 64) % (1 << 20) // 1 MiB working block
+			b.PlainN(isa.IntAlu, 5)
+			// Huffman-style branch: biased but not constant.
+			b.Branch(siteBase+0, b.R.Float64() < 0.8)
+			if i%4 == 0 {
+				b.Store(workload.HeapBase + (1 << 21) + pos)
+			}
+		}
+		b.Branch(siteBase+1, true)
+	})
+}
+
+// Gcc models compilation: a large instruction footprint (icache pressure),
+// many moderately predictable branches, pointer-rich data structures.
+func Gcc() workload.Program {
+	return workload.NewLoop(info("gcc"), nil, func(b *workload.Builder) {
+		// Jump around a large text segment: distinct PCs stress the
+		// icache and BTB.
+		fn := uint64(b.R.Intn(256))
+		b.Call(siteBase+2, workload.CodeBase+0x100000+fn*0x400)
+		for i := 0; i < 24; i++ {
+			b.Plain(isa.IntAlu)
+			b.Emit(isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu,
+				PC: workload.CodeBase + 0x100000 + fn*0x400 + uint64(i)*4})
+			if i%3 == 0 {
+				b.Load(randLine(b.R, workload.HeapBase, 1<<14))
+			}
+			b.Branch(siteBase+3+int(fn%8), b.R.Float64() < 0.7)
+		}
+		b.Ret(siteBase+12, workload.SitePC(siteBase+2)+4, nil)
+		if b.R.Intn(8) == 0 {
+			b.Store(randLine(b.R, workload.HeapBase+(1<<22), 1<<12))
+		}
+		// Occasional atomics/barriers from the allocator and GC paths.
+		if b.R.Intn(12) == 0 {
+			b.Fence()
+		}
+	})
+}
+
+// Mcf models sparse network optimization: long pointer-chasing chains over
+// a working set far exceeding the caches — memory-intensive with low IPC.
+func Mcf() workload.Program {
+	return workload.NewLoop(info("mcf"), nil, func(b *workload.Builder) {
+		addr := randLine(b.R, workload.HeapBase, 1<<18) // 16 MiB footprint
+		b.Load(addr)
+		for i := 0; i < 24; i++ {
+			// Each hop depends on the previous load (pointer chase).
+			addr = workload.HeapBase + (addr*2654435761)%(1<<24)
+			addr &= ^uint64(63)
+			b.LoadDep(addr)
+			b.PlainN(isa.IntAlu, 2)
+			if i%6 == 0 {
+				b.Branch(siteBase+13, b.R.Float64() < 0.6)
+			}
+		}
+		b.Store(addr)
+		b.Branch(siteBase+14, true)
+	})
+}
+
+// Gobmk models Go game-tree search: extremely branchy with poorly
+// predictable branches — the false-positive-prone workload of Table IV.
+func Gobmk() workload.Program {
+	return workload.NewLoop(info("gobmk"), nil, func(b *workload.Builder) {
+		for i := 0; i < 40; i++ {
+			b.PlainN(isa.IntAlu, 3)
+			// Data-dependent 50/50 branches across many sites.
+			b.Branch(siteBase+20+b.R.Intn(12), b.R.Float64() < 0.5)
+			if i%5 == 0 {
+				b.Load(randLine(b.R, workload.HeapBase, 1<<12))
+			}
+			if i%9 == 0 {
+				b.Call(siteBase+33, workload.CodeBase+0x20000)
+				b.Plain(isa.IntAlu)
+				b.Ret(siteBase+34, workload.SitePC(siteBase+33)+4, nil)
+			}
+		}
+	})
+}
+
+// Sjeng models chess search: branchy with hash-table probes (scattered
+// loads that miss often).
+func Sjeng() workload.Program {
+	return workload.NewLoop(info("sjeng"), nil, func(b *workload.Builder) {
+		for i := 0; i < 32; i++ {
+			b.PlainN(isa.IntAlu, 4)
+			b.Branch(siteBase+40+b.R.Intn(8), b.R.Float64() < 0.55)
+			// Transposition-table probe: wide random footprint.
+			b.Load(randLine(b.R, workload.HeapBase+(1<<24), 1<<16))
+			if i%7 == 0 {
+				b.Store(randLine(b.R, workload.HeapBase+(1<<24), 1<<16))
+			}
+		}
+	})
+}
+
+// H264ref models video encoding: streaming SIMD loads/stores with regular
+// access patterns and high memory bandwidth.
+func H264ref() workload.Program {
+	return workload.NewLoop(info("h264ref"), nil, func(b *workload.Builder) {
+		frame := uint64(b.Iteration() - 1)
+		base := workload.HeapBase + (frame%16)*(1<<18)
+		for mb := 0; mb < 16; mb++ {
+			for i := 0; i < 8; i++ {
+				b.Emit(isa.Op{Kind: isa.KindLoad, Class: isa.FloatMemRead,
+					Addr: base + uint64(mb)*1024 + uint64(i)*64})
+				b.Plain(isa.SimdAdd)
+				b.Plain(isa.SimdMult)
+			}
+			b.Emit(isa.Op{Kind: isa.KindStore, Class: isa.FloatMemWrite,
+				Addr: base + (1 << 17) + uint64(mb)*64})
+			b.Branch(siteBase+50, mb < 15)
+		}
+		// Frame-boundary synchronization barrier.
+		b.Fence()
+	})
+}
+
+// Povray models ray tracing: floating-point dominated with moderate memory
+// traffic and recursion (RAS activity).
+func Povray() workload.Program {
+	return workload.NewLoop(info("povray"), nil, func(b *workload.Builder) {
+		depth := 1 + b.R.Intn(4)
+		for d := 0; d < depth; d++ {
+			b.Call(siteBase+60+d, workload.CodeBase+0x30000+uint64(d)*0x100)
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatAdd)
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatDiv)
+			b.Load(randLine(b.R, workload.HeapBase, 1<<10))
+			b.Branch(siteBase+70, b.R.Float64() < 0.75)
+		}
+		for d := depth - 1; d >= 0; d-- {
+			b.Ret(siteBase+80+d, workload.SitePC(siteBase+60+d)+4, nil)
+		}
+		b.Plain(isa.FloatSqrt)
+	})
+}
+
+// DealII models finite-element analysis: dense floating point over large
+// streaming matrices.
+func DealII() workload.Program {
+	return workload.NewLoop(info("dealII"), nil, func(b *workload.Builder) {
+		row := uint64(b.Iteration() - 1)
+		base := workload.HeapBase + (row%512)*(1<<13)
+		for i := 0; i < 24; i++ {
+			b.Emit(isa.Op{Kind: isa.KindLoad, Class: isa.FloatMemRead,
+				Addr: base + uint64(i)*64})
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatAdd)
+			if i%8 == 7 {
+				b.Emit(isa.Op{Kind: isa.KindStore, Class: isa.FloatMemWrite,
+					Addr: base + (1 << 22) + uint64(i)*64})
+			}
+		}
+		b.Branch(siteBase+90, true)
+	})
+}
+
+// Astar models path-finding: pointer chasing over a graph with
+// data-dependent branches.
+func Astar() workload.Program {
+	return workload.NewLoop(info("astar"), nil, func(b *workload.Builder) {
+		addr := randLine(b.R, workload.HeapBase+(1<<25), 1<<15)
+		b.Load(addr)
+		for i := 0; i < 20; i++ {
+			addr = workload.HeapBase + (1 << 25) + (addr*11400714819323198485)%(1<<22)
+			addr &= ^uint64(63)
+			b.LoadDep(addr)
+			b.Plain(isa.IntAlu)
+			b.Branch(siteBase+95+(i%4), b.R.Float64() < 0.65)
+		}
+	})
+}
+
+// Libquantum models quantum simulation: very long unit-stride streams that
+// hammer DRAM bandwidth (high row-hit locality, big footprints).
+func Libquantum() workload.Program {
+	return workload.NewLoop(info("libquantum"), nil, func(b *workload.Builder) {
+		pos := (uint64(b.Iteration()-1) * 64 * 64) % (1 << 24)
+		for i := 0; i < 64; i++ {
+			b.Load(workload.HeapBase + (1 << 26) + pos)
+			b.Plain(isa.IntAlu)
+			b.Store(workload.HeapBase + (1 << 26) + pos)
+			pos = (pos + 64) % (1 << 24)
+			b.Branch(siteBase+99, i < 63)
+		}
+		// Checkpoint barrier between gate applications.
+		b.Fence()
+	})
+}
+
+// Perlbench models an interpreter: indirect-branch-heavy dispatch (hard to
+// predict), hash lookups and deep call chains — so indirect mispredicts and
+// RAS traffic are not attack-exclusive signals.
+func Perlbench() workload.Program {
+	handlers := make([]uint64, 32)
+	for i := range handlers {
+		handlers[i] = workload.CodeBase + 0x40000 + uint64(i)*0x200
+	}
+	return workload.NewLoop(info("perlbench"), nil, func(b *workload.Builder) {
+		for i := 0; i < 24; i++ {
+			op := b.R.Intn(len(handlers))
+			// Dispatch: an indirect jump whose target varies per opcode.
+			b.Indirect(siteBase+110, handlers[op], nil)
+			b.PlainN(isa.IntAlu, 3)
+			b.Load(randLine(b.R, workload.HeapBase+(1<<27), 1<<13))
+			if op%6 == 0 {
+				b.Call(siteBase+111, workload.CodeBase+0x50000)
+				b.Plain(isa.IntAlu)
+				b.Ret(siteBase+112, workload.SitePC(siteBase+111)+4, nil)
+			}
+			b.Branch(siteBase+113, b.R.Float64() < 0.6)
+		}
+	})
+}
+
+// Omnetpp models discrete-event simulation: priority-queue pointer chasing
+// with scattered allocation traffic.
+func Omnetpp() workload.Program {
+	return workload.NewLoop(info("omnetpp"), nil, func(b *workload.Builder) {
+		addr := randLine(b.R, workload.HeapBase+(1<<28), 1<<14)
+		b.Load(addr)
+		for i := 0; i < 12; i++ {
+			addr = workload.HeapBase + (1 << 28) + (addr*6364136223846793005)%(1<<21)
+			addr &= ^uint64(63)
+			b.LoadDep(addr) // heap walk
+			b.Plain(isa.IntAlu)
+			b.Branch(siteBase+120, b.R.Float64() < 0.7)
+		}
+		b.Store(randLine(b.R, workload.HeapBase+(1<<28), 1<<14))
+		if b.R.Intn(10) == 0 {
+			b.Fence() // event-queue synchronization
+		}
+	})
+}
+
+// Namd models molecular dynamics: dense FP with tiled streaming access.
+func Namd() workload.Program {
+	return workload.NewLoop(info("namd"), nil, func(b *workload.Builder) {
+		tile := uint64(b.Iteration() - 1)
+		base := workload.HeapBase + (1 << 29) + (tile%64)*(1<<14)
+		for i := 0; i < 20; i++ {
+			b.Emit(isa.Op{Kind: isa.KindLoad, Class: isa.FloatMemRead,
+				Addr: base + uint64(i)*64})
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatAdd)
+			b.Plain(isa.FloatMult)
+			b.PlainN(isa.IntAlu, 2) // index arithmetic
+			// Cutoff test per pair interaction.
+			b.Branch(siteBase+131+(i%3), b.R.Float64() < 0.85)
+			if i%10 == 9 {
+				b.Plain(isa.FloatSqrt)
+				b.Plain(isa.FloatDiv)
+			}
+		}
+		b.Branch(siteBase+130, true)
+		if b.R.Intn(16) == 0 {
+			b.Store(base + (1 << 13))
+		}
+	})
+}
+
+// Milc models lattice QCD: FP arithmetic over randomly indexed lattice
+// sites (low IPC, DRAM-heavy, like the paper's memory-intensive FP codes).
+func Milc() workload.Program {
+	return workload.NewLoop(info("milc"), nil, func(b *workload.Builder) {
+		for i := 0; i < 16; i++ {
+			b.Emit(isa.Op{Kind: isa.KindLoad, Class: isa.FloatMemRead,
+				Addr: randLine(b.R, workload.HeapBase+(1<<30), 1<<17)})
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatAdd)
+			b.Plain(isa.FloatDiv)
+		}
+		b.Branch(siteBase+140, true)
+	})
+}
+
+// Soplex models a simplex LP solver: sparse matrix FP with indirection and
+// column scans.
+func Soplex() workload.Program {
+	return workload.NewLoop(info("soplex"), nil, func(b *workload.Builder) {
+		col := randLine(b.R, workload.HeapBase+(1<<31), 1<<12)
+		b.Load(col) // column index load
+		for i := 0; i < 16; i++ {
+			b.LoadDep(workload.HeapBase + (1 << 31) + (col+uint64(i)*4096)%(1<<23))
+			b.Plain(isa.FloatMult)
+			b.Plain(isa.FloatAdd)
+			b.Branch(siteBase+150, b.R.Float64() < 0.8)
+		}
+		b.Store(col)
+	})
+}
+
+// Xalancbmk models XML transformation: virtual-call-dominated traversal
+// (indirect branches plus deep recursion).
+func Xalancbmk() workload.Program {
+	vtables := make([]uint64, 8)
+	for i := range vtables {
+		vtables[i] = workload.CodeBase + 0x60000 + uint64(i)*0x300
+	}
+	return workload.NewLoop(info("xalancbmk"), nil, func(b *workload.Builder) {
+		depth := 1 + b.R.Intn(3)
+		for d := 0; d < depth; d++ {
+			b.Call(siteBase+160+d, workload.CodeBase+0x70000+uint64(d)*0x100)
+			b.Indirect(siteBase+170, vtables[b.R.Intn(len(vtables))], nil)
+			b.Load(randLine(b.R, workload.HeapBase+(3<<28), 1<<13))
+			b.PlainN(isa.IntAlu, 4)
+		}
+		for d := depth - 1; d >= 0; d-- {
+			b.Ret(siteBase+180+d, workload.SitePC(siteBase+160+d)+4, nil)
+		}
+		b.Branch(siteBase+190, b.R.Float64() < 0.65)
+	})
+}
+
+// All returns the full benign corpus.
+func All() []workload.Program {
+	return []workload.Program{
+		Bzip2(), Gcc(), Mcf(), Gobmk(), Sjeng(),
+		H264ref(), Povray(), DealII(), Astar(), Libquantum(),
+		Perlbench(), Omnetpp(), Namd(), Milc(), Soplex(), Xalancbmk(),
+	}
+}

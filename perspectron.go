@@ -1,0 +1,394 @@
+// Package perspectron is the public API of the PerSpectron reproduction: a
+// hardware-style perceptron detector for microarchitectural attacks
+// (Mirbagher-Ajorpaz et al., MICRO 2020), together with the cycle-accounting
+// out-of-order machine simulator, attack and benign workload generators, and
+// the feature-selection pipeline the paper describes.
+//
+// Typical use:
+//
+//	det, _ := perspectron.Train(perspectron.TrainingWorkloads(), perspectron.DefaultOptions())
+//	report := det.Monitor(perspectron.AttackByName("spectreV1", "fr"), 200_000, 1)
+//	if report.Detected {
+//	    fmt.Printf("flagged at sample %d (%.0f instructions)\n",
+//	        report.FirstFlagged, float64(report.FirstFlagged)*float64(det.Interval))
+//	}
+package perspectron
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"perspectron/internal/features"
+	"perspectron/internal/perceptron"
+	"perspectron/internal/sim"
+	"perspectron/internal/trace"
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/attacks"
+	"perspectron/internal/workload/benign"
+)
+
+// Workload is a runnable program (attack or benign kernel).
+type Workload = workload.Program
+
+// TrainingWorkloads returns the paper's base corpus: every attack with its
+// default channel, channel variants for the speculative attacks, and the
+// SPEC-like benign kernels.
+func TrainingWorkloads() []Workload {
+	progs := append([]Workload{}, benign.All()...)
+	progs = append(progs, attacks.TrainingSet()...)
+	for _, cat := range []string{"spectre_v1", "spectre_v2", "spectre_rsb", "meltdown", "cacheout"} {
+		progs = append(progs, attacks.WithChannel(cat, "pp"))
+	}
+	return progs
+}
+
+// BenignWorkloads returns the benign corpus only.
+func BenignWorkloads() []Workload { return benign.All() }
+
+// AttackWorkloads returns the attack corpus with default channels.
+func AttackWorkloads() []Workload { return attacks.TrainingSet() }
+
+// AttackByName returns a single attack by short name ("spectreV1",
+// "spectreV2", "spectreRSB", "meltdown", "breakingKSLR", "cacheOut",
+// "flush+reload", "flush+flush", "prime+probe") on the given disclosure
+// channel ("fr", "ff", "pp"; ignored for fixed-channel attacks). It returns
+// nil for unknown names.
+func AttackByName(name, channel string) Workload {
+	switch name {
+	case "spectreV1":
+		return attacks.SpectreV1(channel)
+	case "spectreV2":
+		return attacks.SpectreV2(channel)
+	case "spectreRSB":
+		return attacks.SpectreRSB(channel)
+	case "meltdown":
+		return attacks.Meltdown(channel)
+	case "breakingKSLR":
+		return attacks.BreakingKASLR()
+	case "cacheOut":
+		return attacks.CacheOut(channel)
+	case "flush+reload":
+		return attacks.FlushReload()
+	case "flush+flush":
+		return attacks.FlushFlush()
+	case "prime+probe":
+		return attacks.PrimeProbe()
+	case "spectreV4":
+		// Speculative store bypass: never in the paper's corpus; provided
+		// for zero-day generalization experiments.
+		return attacks.SpectreV4(channel)
+	case "rowhammer":
+		// The paper's footnote 5 predicts its detectability but could not
+		// simulate it; also excluded from training.
+		return attacks.RowHammer()
+	}
+	return nil
+}
+
+// PolymorphicVariants returns the 12 SpectreV1 evasion variants of the
+// paper's §VI-A1.
+func PolymorphicVariants(channel string) []Workload {
+	return attacks.AllPolymorphic(channel)
+}
+
+// ReduceBandwidth wraps an attack, reducing its leakage bandwidth to factor
+// (§VI-A2), e.g. 0.25 for the paper's lowest-rate evasive Spectre.
+func ReduceBandwidth(w Workload, factor float64) Workload {
+	return attacks.Bandwidth(w, factor)
+}
+
+// Options configures training.
+type Options struct {
+	// Interval is the sampling granularity in committed instructions
+	// (paper: 10K performed best; 50K and 100K are also studied).
+	Interval uint64
+	// MaxInsts is the committed-path length of each training run.
+	MaxInsts uint64
+	// Runs is the number of independently seeded runs per workload.
+	Runs int
+	// MaxFeatures is the selection budget (paper: 106).
+	MaxFeatures int
+	// Threshold is the detection cut on the normalized perceptron output.
+	Threshold float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's best configuration at a laptop-scale
+// run length.
+func DefaultOptions() Options {
+	return Options{
+		Interval:    10_000,
+		MaxInsts:    300_000,
+		Runs:        2,
+		MaxFeatures: 106,
+		Threshold:   0.25,
+		Seed:        1,
+	}
+}
+
+// Detector is a trained PerSpectron instance. It is self-contained: the
+// selected feature names, perceptron weights and normalization maxima are
+// all embedded, so it can be serialized (Save/Load) like the vendor weight
+// patches of the paper's §IV-G1.
+type Detector struct {
+	FeatureNames []string    `json:"feature_names"`
+	Weights      []float64   `json:"weights"`
+	Bias         float64     `json:"bias"`
+	Threshold    float64     `json:"threshold"`
+	Interval     uint64      `json:"interval"`
+	GlobalMax    []float64   `json:"global_max"`
+	PointMax     [][]float64 `json:"point_max"` // [point][selected feature]
+
+	indices []int // resolved counter indices on the current machine
+}
+
+// Train collects traces from the given workloads on the simulated machine,
+// runs the paper's feature-selection algorithm, trains the perceptron on
+// k-sparse binary features, and returns the packaged detector.
+func Train(workloads []Workload, opts Options) (*Detector, error) {
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("perspectron: no training workloads")
+	}
+	ds := trace.Collect(workloads, trace.CollectConfig{
+		MaxInsts: opts.MaxInsts,
+		Interval: opts.Interval,
+		Seed:     opts.Seed,
+		Runs:     opts.Runs,
+	})
+	b, m := ds.ClassCounts()
+	if b == 0 || m == 0 {
+		return nil, fmt.Errorf("perspectron: training corpus needs both classes (benign=%d malicious=%d)", b, m)
+	}
+	enc := trace.NewEncoder(ds)
+	X, y := enc.Matrix(ds)
+	selCfg := features.DefaultSelectConfig()
+	if opts.MaxFeatures > 0 {
+		selCfg.MaxFeatures = opts.MaxFeatures
+	}
+	sel := features.Select(X, y, ds.Components, selCfg)
+	if len(sel.Indices) == 0 {
+		return nil, fmt.Errorf("perspectron: feature selection found no informative features")
+	}
+
+	Xb, yb := enc.BinaryMatrix(ds)
+	Xp := trace.Project(Xb, sel.Indices)
+	pcfg := perceptron.DefaultConfig()
+	pcfg.Threshold = opts.Threshold
+	pcfg.Seed = opts.Seed
+	p := perceptron.New(len(sel.Indices), pcfg)
+	p.Fit(Xp, yb)
+
+	d := &Detector{
+		FeatureNames: make([]string, len(sel.Indices)),
+		Weights:      p.W,
+		Bias:         p.Bias,
+		Threshold:    opts.Threshold,
+		Interval:     opts.Interval,
+		GlobalMax:    make([]float64, len(sel.Indices)),
+		indices:      sel.Indices,
+	}
+	for i, j := range sel.Indices {
+		d.FeatureNames[i] = ds.FeatureNames[j]
+		d.GlobalMax[i] = enc.M.GlobalMax(j)
+	}
+	points := enc.M.NumPoints()
+	if points > 64 {
+		points = 64
+	}
+	for pt := 0; pt < points; pt++ {
+		row := make([]float64, len(sel.Indices))
+		for i, j := range sel.Indices {
+			row[i] = enc.M.Max(j, pt)
+		}
+		d.PointMax = append(d.PointMax, row)
+	}
+	return d, nil
+}
+
+// NumFeatures returns the detector's input width.
+func (d *Detector) NumFeatures() int { return len(d.Weights) }
+
+// Hardware returns the hardware cost model for this detector.
+func (d *Detector) Hardware() perceptron.HardwareModel {
+	h := perceptron.DefaultHardwareModel()
+	h.NumFeatures = d.NumFeatures()
+	h.SampleInstrs = d.Interval
+	return h
+}
+
+// resolve maps feature names onto counter indices for the given machine.
+func (d *Detector) resolve(m *sim.Machine) error {
+	if d.indices != nil && len(d.indices) == len(d.FeatureNames) {
+		return nil
+	}
+	d.indices = make([]int, len(d.FeatureNames))
+	for i, name := range d.FeatureNames {
+		c, ok := m.Reg.Lookup(name)
+		if !ok {
+			return fmt.Errorf("perspectron: counter %q not present on this machine", name)
+		}
+		d.indices[i] = c.Index()
+	}
+	return nil
+}
+
+// scoreSample binarizes one raw counter-delta vector and returns the
+// normalized perceptron output.
+func (d *Detector) scoreSample(raw []float64, point int) float64 {
+	s := d.Bias
+	norm := abs(d.Bias)
+	for i, j := range d.indices {
+		mx := d.GlobalMax[i]
+		if point >= 0 && point < len(d.PointMax) && d.PointMax[point][i] > 0 {
+			mx = d.PointMax[point][i]
+		}
+		if mx <= 0 {
+			continue
+		}
+		if raw[j]/mx >= 0.5 {
+			s += d.Weights[i]
+			norm += abs(d.Weights[i])
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	v := s / norm
+	if v > 1 {
+		v = 1
+	} else if v < -1 {
+		v = -1
+	}
+	return v
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SamplePoint is one sampling interval's verdict.
+type SamplePoint struct {
+	Index   int     // sampling interval number
+	Insts   uint64  // committed instructions at the sample
+	Score   float64 // normalized perceptron output (confidence)
+	Flagged bool
+}
+
+// Report is the outcome of monitoring one workload.
+type Report struct {
+	Workload    string
+	Malicious   bool // ground truth
+	Samples     []SamplePoint
+	Detected    bool
+	FirstFlag   int      // index of the first flagged sample (-1 if none)
+	LeakSamples []int    // sample indices at which disclosures completed
+	LeakBefore  bool     // true if the first leak precedes the first flag
+	Categories  []string // reserved for multi-way classification
+}
+
+// Monitor runs the workload for maxInsts committed instructions on a fresh
+// machine with the detector attached, scoring every sampling interval. seed
+// drives the workload's data-dependent behaviour.
+func (d *Detector) Monitor(w Workload, maxInsts uint64, seed int64) (*Report, error) {
+	m := sim.NewMachine(sim.DefaultConfig())
+	if err := d.resolve(m); err != nil {
+		return nil, err
+	}
+	stream := w.Stream(rand.New(rand.NewSource(seed)))
+	vecs := m.Run(stream, maxInsts, d.Interval)
+
+	info := w.Info()
+	rep := &Report{
+		Workload:  info.Name,
+		Malicious: info.Label == workload.Malicious,
+		FirstFlag: -1,
+	}
+	for i, raw := range vecs {
+		score := d.scoreSample(raw, i)
+		flagged := score >= d.Threshold
+		rep.Samples = append(rep.Samples, SamplePoint{
+			Index:   i,
+			Insts:   uint64(i+1) * d.Interval,
+			Score:   score,
+			Flagged: flagged,
+		})
+		if flagged && rep.FirstFlag < 0 {
+			rep.FirstFlag = i
+			rep.Detected = true
+		}
+	}
+	if ls, ok := stream.(*workload.LoopStream); ok {
+		for _, mark := range ls.LeakMarks() {
+			rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
+		}
+	}
+	if len(rep.LeakSamples) > 0 {
+		rep.LeakBefore = rep.FirstFlag < 0 || rep.LeakSamples[0] < rep.FirstFlag
+	}
+	return rep, nil
+}
+
+// Save serializes the detector as JSON (the paper's vendor-distributable
+// weight patch).
+func (d *Detector) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Load reads a detector written by Save.
+func Load(r io.Reader) (*Detector, error) {
+	var d Detector
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("perspectron: decoding detector: %w", err)
+	}
+	if len(d.Weights) != len(d.FeatureNames) {
+		return nil, fmt.Errorf("perspectron: corrupt detector: %d weights for %d features",
+			len(d.Weights), len(d.FeatureNames))
+	}
+	return &d, nil
+}
+
+// TopFeatures returns the k most suspicious (positive-weight) and most
+// benign (negative-weight) features with their weights — the
+// interpretability view of the paper's §VII-C.
+func (d *Detector) TopFeatures(k int) (suspicious, benign []WeightedFeature) {
+	p := perceptron.Perceptron{W: d.Weights, Bias: d.Bias}
+	pos, neg := p.TopWeights(k)
+	for _, j := range pos {
+		suspicious = append(suspicious, WeightedFeature{d.FeatureNames[j], d.Weights[j]})
+	}
+	for _, j := range neg {
+		benign = append(benign, WeightedFeature{d.FeatureNames[j], d.Weights[j]})
+	}
+	return suspicious, benign
+}
+
+// WeightedFeature pairs a counter name with its learned weight.
+type WeightedFeature struct {
+	Name   string
+	Weight float64
+}
+
+// Update retrains the detector with additional workloads folded into the
+// corpus — the paper's §IV-G1 vendor weight patch: "we envision our
+// technique being deployed with the ability to update the neural weights
+// using a vendor distributed patch reflecting training with the most recent
+// known classes of attacks". The feature *selection* is rerun too, so a new
+// attack class can pull in counters the old selection ignored. The updated
+// detector keeps the original sampling interval and threshold.
+func (d *Detector) Update(baseline, additional []Workload, opts Options) (*Detector, error) {
+	opts.Interval = d.Interval
+	opts.Threshold = d.Threshold
+	if opts.MaxFeatures == 0 {
+		opts.MaxFeatures = d.NumFeatures()
+	}
+	corpus := append(append([]Workload{}, baseline...), additional...)
+	return Train(corpus, opts)
+}

@@ -1,0 +1,158 @@
+package perspectron
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perspectron/internal/sim"
+	"perspectron/internal/workload"
+)
+
+// Mitigation identifies one of the §IV-G1 hardware countermeasures wired
+// into the simulated machine.
+type Mitigation int
+
+const (
+	// MitigateNone takes no action.
+	MitigateNone Mitigation = iota
+	// MitigateFence enables context-sensitive fencing: injected fences
+	// block speculative loads (Spectre-class channels) at a per-branch
+	// serialization cost.
+	MitigateFence
+	// MitigateRekey rotates the CEASER-style cache-index key, destroying
+	// eviction sets (Prime+Probe-class channels).
+	MitigateRekey
+	// MitigateBPNoise randomizes branch predictions, making predictor
+	// mistraining unreliable.
+	MitigateBPNoise
+)
+
+// String names the mitigation.
+func (m Mitigation) String() string {
+	switch m {
+	case MitigateFence:
+		return "fence"
+	case MitigateRekey:
+		return "rekey"
+	case MitigateBPNoise:
+		return "bp-noise"
+	}
+	return "none"
+}
+
+// Policy decides, per sampling interval, which mitigations to run given the
+// detector's confidence score. It is the paper's deployment model: the
+// low-level detector raises information; the policy escalates gradually
+// rather than killing processes.
+type Policy func(score float64, active []Mitigation) []Mitigation
+
+// EscalationPolicy is the default §IV-G policy: below watch, no action;
+// between watch and act, keep current mitigations (hysteresis); at or above
+// act, enable the given mitigations.
+func EscalationPolicy(watch, act float64, response ...Mitigation) Policy {
+	return func(score float64, active []Mitigation) []Mitigation {
+		switch {
+		case score >= act:
+			return response
+		case score >= watch:
+			return active // hold current state
+		default:
+			return nil
+		}
+	}
+}
+
+// MitigatedReport extends Report with the mitigation timeline.
+type MitigatedReport struct {
+	Report
+	// ActiveAt[i] lists the mitigations enabled after sample i fired.
+	ActiveAt [][]Mitigation
+	// SpecLoadsBlocked counts speculative loads suppressed by fencing.
+	SpecLoadsBlocked float64
+	// Rekeys counts cache-index re-randomizations performed.
+	Rekeys float64
+	// MitigatedIntervals counts intervals with at least one mitigation on.
+	MitigatedIntervals int
+}
+
+// MonitorWithPolicy runs the workload while the detector scores every
+// sampling interval ONLINE and the policy drives the machine's hardware
+// mitigations between intervals. This is the end-to-end deployment loop of
+// §IV-G: detect with confidence, mitigate proportionally, stand down when
+// the signal clears.
+func (d *Detector) MonitorWithPolicy(w Workload, maxInsts uint64, seed int64, policy Policy) (*MitigatedReport, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("perspectron: nil policy")
+	}
+	m := sim.NewMachine(sim.DefaultConfig())
+	if err := d.resolve(m); err != nil {
+		return nil, err
+	}
+
+	info := w.Info()
+	rep := &MitigatedReport{}
+	rep.Workload = info.Name
+	rep.Malicious = info.Label == workload.Malicious
+	rep.FirstFlag = -1
+
+	var active []Mitigation
+	apply := func(ms []Mitigation) {
+		fence, noise := false, 0
+		for _, mit := range ms {
+			switch mit {
+			case MitigateFence:
+				fence = true
+			case MitigateBPNoise:
+				noise = 300
+			}
+		}
+		m.EnableFencing(fence)
+		m.InjectBPNoise(noise)
+	}
+
+	m.OnSample = func(idx int, delta []float64) {
+		score := d.scoreSample(delta, idx)
+		flagged := score >= d.Threshold
+		rep.Samples = append(rep.Samples, SamplePoint{
+			Index:   idx,
+			Insts:   uint64(idx+1) * d.Interval,
+			Score:   score,
+			Flagged: flagged,
+		})
+		if flagged && rep.FirstFlag < 0 {
+			rep.FirstFlag = idx
+			rep.Detected = true
+		}
+		next := policy(score, active)
+		for _, mit := range next {
+			if mit == MitigateRekey {
+				m.RekeyCaches(uint64(idx)*0x9e3779b97f4a7c15 + 0xb5)
+			}
+		}
+		active = next
+		apply(active)
+		rep.ActiveAt = append(rep.ActiveAt, append([]Mitigation(nil), active...))
+		if len(active) > 0 {
+			rep.MitigatedIntervals++
+		}
+	}
+
+	stream := w.Stream(rand.New(rand.NewSource(seed)))
+	m.Run(stream, maxInsts, d.Interval)
+
+	if c, ok := m.Reg.Lookup("iew.blockedSpecLoads"); ok {
+		rep.SpecLoadsBlocked = c.Value()
+	}
+	if c, ok := m.Reg.Lookup("dcache.rekeys"); ok {
+		rep.Rekeys = c.Value()
+	}
+	if ls, ok := stream.(*workload.LoopStream); ok {
+		for _, mark := range ls.LeakMarks() {
+			rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
+		}
+	}
+	if len(rep.LeakSamples) > 0 {
+		rep.LeakBefore = rep.FirstFlag < 0 || rep.LeakSamples[0] < rep.FirstFlag
+	}
+	return rep, nil
+}
