@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# ci is the gate for every PR: static analysis, a full build, and the test
+# suite under the race detector (trace.Collect and the experiments fan out
+# across goroutines).
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

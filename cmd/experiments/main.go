@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|table4|fig3|fig4|fig5|timing|weights]
+//	experiments [-run all|fig1|table1|table2|table3|table4|fig3|fig4|fig5|timing|weights|
+//	                  multiway|mitigate|rhmd|zeroday|sched|faulttol]
 //	            [-quick] [-seed N] [-insts N] [-runs N]
 //
 // Each experiment prints its paper artefact as text, with the paper's
@@ -23,7 +24,7 @@ import (
 type renderer interface{ Render() string }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, fig1, table1, table2, table3, table4, fig3, fig4, fig5, timing, weights, multiway, mitigate, rhmd)")
+	run := flag.String("run", "all", "experiment to run (all, fig1, table1, table2, table3, table4, fig3, fig4, fig5, timing, weights, multiway, mitigate, rhmd, zeroday, sched, faulttol)")
 	quick := flag.Bool("quick", false, "use the reduced quick configuration")
 	seed := flag.Int64("seed", 1, "global random seed")
 	insts := flag.Uint64("insts", 0, "override committed instructions per program run")
@@ -61,6 +62,7 @@ func main() {
 		{"rhmd", func() renderer { return experiments.RHMD(cfg) }},
 		{"zeroday", func() renderer { return experiments.ZeroDay(cfg) }},
 		{"sched", func() renderer { return experiments.Sched(cfg) }},
+		{"faulttol", func() renderer { return experiments.FaultTol(cfg) }},
 	}
 
 	want := strings.ToLower(*run)

@@ -5,18 +5,24 @@
 //	perspectron train  [-out detector.json] [-insts N] [-runs N] [-seed N]
 //	perspectron detect [-in detector.json] -workload <name> [-channel fr|ff|pp]
 //	                   [-bandwidth F] [-poly N] [-insts N] [-seed N]
+//	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-noise F]
+//	                   [-jitter F] [-blackout comp[:from[:to]]] [-faultseed N]
 //	perspectron info   [-in detector.json]
 //	perspectron list
 //
 // `detect` monitors the named workload on a fresh simulated machine and
 // prints the per-interval confidence, the flag point, and whether detection
-// preceded the first disclosure.
+// preceded the first disclosure. The fault flags inject deterministic
+// counter-level faults into the sampled vectors (see docs/FAULTS.md); the
+// detector then runs in degraded mode and the report states its coverage.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"perspectron"
 )
@@ -111,11 +117,43 @@ func cmdDetect(args []string) {
 	poly := fs.Int("poly", -1, "polymorphic SpectreV1 variant index (0-11), -1 = off")
 	insts := fs.Uint64("insts", 200_000, "instructions to monitor")
 	seed := fs.Int64("seed", 42, "workload seed")
+	dropout := fs.Float64("dropout", 0, "per-sample probability each counter reading is lost")
+	stuck0 := fs.Float64("stuck0", 0, "fraction of counters stuck at zero for the whole run")
+	stuckMax := fs.Float64("stuckmax", 0, "fraction of counters stuck at their saturation value")
+	noise := fs.Float64("noise", 0, "relative sigma of multiplicative Gaussian counter noise")
+	jitter := fs.Float64("jitter", 0, "sampling-interval jitter fraction")
+	blackout := fs.String("blackout", "", "black out one component: comp[:from[:to]] (e.g. dcache:2:5)")
+	faultSeed := fs.Int64("faultseed", 1, "fault-schedule seed")
 	fs.Parse(args)
 	if *name == "" && *poly < 0 {
 		fmt.Fprintln(os.Stderr, "detect: -workload required (or -poly)")
 		os.Exit(2)
 	}
+	fc := perspectron.FaultConfig{
+		Seed:      *faultSeed,
+		Dropout:   *dropout,
+		StuckZero: *stuck0,
+		StuckMax:  *stuckMax,
+		Noise:     *noise,
+		Jitter:    *jitter,
+	}
+	if *blackout != "" {
+		parts := strings.SplitN(*blackout, ":", 3)
+		fc.Blackout = parts[0]
+		var err error
+		if len(parts) > 1 {
+			if fc.BlackoutFrom, err = strconv.Atoi(parts[1]); err != nil {
+				fatal(fmt.Errorf("bad -blackout window %q: %v", *blackout, err))
+			}
+		}
+		if len(parts) > 2 {
+			if fc.BlackoutTo, err = strconv.Atoi(parts[2]); err != nil {
+				fatal(fmt.Errorf("bad -blackout window %q: %v", *blackout, err))
+			}
+		}
+	}
+	faulty := fc.Dropout > 0 || fc.StuckZero > 0 || fc.StuckMax > 0 ||
+		fc.Noise > 0 || fc.Jitter > 0 || fc.Blackout != ""
 
 	det := loadDetector(*in)
 	var w perspectron.Workload
@@ -140,11 +178,20 @@ func cmdDetect(args []string) {
 		w = perspectron.ReduceBandwidth(w, *bandwidth)
 	}
 
-	rep, err := det.Monitor(w, *insts, *seed)
+	var rep *perspectron.Report
+	var err error
+	if faulty {
+		rep, err = det.MonitorFaulty(w, *insts, *seed, fc)
+	} else {
+		rep, err = det.Monitor(w, *insts, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("workload: %s (ground truth: malicious=%v)\n", rep.Workload, rep.Malicious)
+	if rep.Degraded {
+		fmt.Printf("DEGRADED mode: %.1f%% of the feature set observable\n", rep.Coverage*100)
+	}
 	for _, s := range rep.Samples {
 		mark := " "
 		if s.Flagged {

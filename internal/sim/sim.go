@@ -52,6 +52,13 @@ type Machine struct {
 	// OnSample is invoked after each sampling interval during Run with the
 	// 0-based sample index; mitigation policies hook here.
 	OnSample sampleHook
+
+	// SampleFilter, if set, transforms each sampled counter-delta vector in
+	// place as soon as it is emitted — before OnSample observes it and
+	// before Run returns it. Fault-injection schedules
+	// (internal/faults.Schedule.Attach) hook here, so everything downstream
+	// of the sampler sees the degraded signal.
+	SampleFilter func(index int, vec []float64)
 }
 
 // memAdapter exposes the hierarchy as the pipeline's MemSystem.
@@ -102,16 +109,26 @@ func (m *Machine) Run(stream isa.Stream, maxInsts, sampleInterval uint64) [][]fl
 	m.Pipe.OnCommit = func(n uint64) {
 		fired := sampler.Tick(n)
 		for i := 0; i < fired; i++ {
+			all := sampler.Samples()
+			v := all[len(all)-fired+i]
+			if m.SampleFilter != nil {
+				m.SampleFilter(idx, v)
+			}
 			if m.OnSample != nil {
-				all := sampler.Samples()
-				m.OnSample(idx, all[len(all)-fired+i])
+				m.OnSample(idx, v)
 			}
 			idx++
 		}
 	}
 	m.Pipe.Run(stream, maxInsts)
 	m.DRAM.FinishAt(m.Pipe.Cycle())
+	before := len(sampler.Samples())
 	sampler.Flush(sampleInterval / 2)
+	if all := sampler.Samples(); m.SampleFilter != nil && len(all) > before {
+		// The trailing partial sample is emitted outside OnCommit; faults
+		// must still apply to it.
+		m.SampleFilter(idx, all[len(all)-1])
+	}
 	return sampler.Samples()
 }
 

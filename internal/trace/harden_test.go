@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perspectron/internal/isa"
+	"perspectron/internal/workload"
+	"perspectron/internal/workload/benign"
+)
+
+// plainStream emits computational ops forever (or up to limit when > 0).
+type plainStream struct {
+	n     uint64
+	limit uint64
+}
+
+func (s *plainStream) Next() (isa.Op, bool) {
+	if s.limit > 0 && s.n >= s.limit {
+		return isa.Op{}, false
+	}
+	s.n++
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
+}
+
+// panicProg panics after emitting `after` ops on its first `failures`
+// streams, then behaves.
+type panicProg struct {
+	after    uint64
+	failures int32
+	attempts *int32
+}
+
+func (p *panicProg) Info() workload.Info {
+	return workload.Info{Name: "panicker", Label: workload.Benign, Category: "test"}
+}
+
+func (p *panicProg) Stream(_ *rand.Rand) isa.Stream {
+	attempt := atomic.AddInt32(p.attempts, 1)
+	return &panicStream{after: p.after, panics: attempt <= p.failures}
+}
+
+type panicStream struct {
+	n      uint64
+	after  uint64
+	panics bool
+}
+
+func (s *panicStream) Next() (isa.Op, bool) {
+	s.n++
+	if s.panics && s.n > s.after {
+		panic("workload bug")
+	}
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
+}
+
+func TestCollectRecoversFromPanickingWorkload(t *testing.T) {
+	var attempts int32
+	progs := []workload.Program{
+		benign.All()[0],
+		&panicProg{after: 5_000, failures: 99, attempts: &attempts}, // never succeeds
+	}
+	cfg := CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1, Retries: 2}
+	ds := Collect(progs, cfg)
+	if len(ds.Samples) == 0 {
+		t.Fatalf("healthy workload produced no samples alongside a panicking one")
+	}
+	for _, s := range ds.Samples {
+		if s.Program == "panicker" {
+			t.Fatalf("panicking run leaked samples into the dataset")
+		}
+	}
+	if len(ds.Dropped) != 1 || !strings.Contains(ds.Dropped[0], "panicker#0") ||
+		!strings.Contains(ds.Dropped[0], "panicked") {
+		t.Fatalf("dropped record = %v, want one panicker entry", ds.Dropped)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Fatalf("panicking run attempted %d times, want 1 + 2 retries", got)
+	}
+}
+
+func TestCollectRetrySucceedsWithFreshSeed(t *testing.T) {
+	var attempts int32
+	progs := []workload.Program{
+		&panicProg{after: 5_000, failures: 1, attempts: &attempts}, // first attempt only
+	}
+	cfg := CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1, Retries: 2}
+	ds := Collect(progs, cfg)
+	if len(ds.Dropped) != 0 {
+		t.Fatalf("recovered run still dropped: %v", ds.Dropped)
+	}
+	if len(ds.Samples) == 0 {
+		t.Fatalf("retried run produced no samples")
+	}
+	if got := atomic.LoadInt32(&attempts); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (panic, then success)", got)
+	}
+}
+
+// endless is a benign-looking program that never terminates on its own.
+type endless struct{}
+
+func (endless) Info() workload.Info {
+	return workload.Info{Name: "endless", Label: workload.Benign, Category: "test"}
+}
+func (endless) Stream(_ *rand.Rand) isa.Stream { return &plainStream{} }
+
+func TestCollectTimeoutCutsRunawayRun(t *testing.T) {
+	cfg := CollectConfig{
+		MaxInsts: 1 << 62, // effectively unbounded: only the timeout stops it
+		Interval: 10_000,
+		Seed:     1,
+		Runs:     1,
+		Timeout:  100 * time.Millisecond,
+	}
+	start := time.Now()
+	ds := Collect([]workload.Program{endless{}}, cfg)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timeout did not bound the run (%v elapsed)", elapsed)
+	}
+	// The run was truncated, not discarded: its partial samples survive.
+	if len(ds.Samples) == 0 {
+		t.Fatalf("timed-out run contributed no samples")
+	}
+}
+
+func TestCollectCtxCancelStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every run must be dropped
+	progs := []workload.Program{benign.All()[0], benign.All()[1]}
+	ds := CollectCtx(ctx, progs, CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 2})
+	if len(ds.Samples) != 0 {
+		t.Fatalf("cancelled collection still produced %d samples", len(ds.Samples))
+	}
+	if len(ds.Dropped) != 4 {
+		t.Fatalf("dropped %d runs, want all 4: %v", len(ds.Dropped), ds.Dropped)
+	}
+}
+
+func TestFilterCarriesDropped(t *testing.T) {
+	ds := &Dataset{Dropped: []string{"x#0: run panicked"}}
+	if got := ds.Filter(func(*Sample) bool { return true }); len(got.Dropped) != 1 {
+		t.Fatalf("Filter lost the Dropped record")
+	}
+}

@@ -6,11 +6,14 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
+	"perspectron/internal/isa"
 	"perspectron/internal/sim"
 	"perspectron/internal/stats"
 	"perspectron/internal/workload"
@@ -33,6 +36,11 @@ type Dataset struct {
 	Components   []stats.Component
 	Interval     uint64
 	Samples      []Sample
+
+	// Dropped lists runs Collect abandoned ("program#run: reason"): panics
+	// that persisted through every retry, or runs cancelled/timed out before
+	// producing a single sample. Training proceeds on the surviving runs.
+	Dropped []string
 }
 
 // NumFeatures returns the feature-space width.
@@ -65,7 +73,8 @@ func (d *Dataset) Categories() []string {
 
 // Filter returns a shallow dataset containing only samples keep selects.
 func (d *Dataset) Filter(keep func(*Sample) bool) *Dataset {
-	out := &Dataset{FeatureNames: d.FeatureNames, Components: d.Components, Interval: d.Interval}
+	out := &Dataset{FeatureNames: d.FeatureNames, Components: d.Components,
+		Interval: d.Interval, Dropped: d.Dropped}
 	for i := range d.Samples {
 		if keep(&d.Samples[i]) {
 			out.Samples = append(out.Samples, d.Samples[i])
@@ -81,6 +90,16 @@ type CollectConfig struct {
 	Seed     int64
 	Runs     int // independent runs (seeds) per program
 	Parallel int // worker goroutines; 0 = GOMAXPROCS
+
+	// Timeout bounds each program run's wall-clock time; the run's stream
+	// is cut off at the deadline and whatever samples it produced are kept.
+	// 0 means no per-run limit.
+	Timeout time.Duration
+	// Retries is the number of extra attempts (with fresh derived seeds)
+	// granted to a run whose workload panics, so one bad run cannot sink a
+	// whole training job. Runs that still fail are recorded in
+	// Dataset.Dropped.
+	Retries int
 }
 
 // DefaultCollectConfig mirrors the paper's densest setting at a laptop-
@@ -93,6 +112,15 @@ func DefaultCollectConfig() CollectConfig {
 // sampled counter deltas. Collection is deterministic for a fixed config
 // (per-run seeds are derived from cfg.Seed) and parallel across runs.
 func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
+	return CollectCtx(context.Background(), progs, cfg)
+}
+
+// CollectCtx is Collect under a context: cancelling ctx stops scheduling new
+// runs and cuts off in-flight ones at their next instruction fetch. Each run
+// is additionally shielded — a panicking workload is retried cfg.Retries
+// times with fresh seeds and then dropped (recorded in Dataset.Dropped)
+// instead of killing the collection.
+func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig) *Dataset {
 	probe := sim.NewMachine(sim.DefaultConfig())
 	ds := &Dataset{
 		FeatureNames: probe.Reg.Names(),
@@ -117,6 +145,12 @@ func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var wg sync.WaitGroup
+	var mu sync.Mutex // guards ds.Dropped
+	drop := func(j job, reason string) {
+		mu.Lock()
+		ds.Dropped = append(ds.Dropped, fmt.Sprintf("%s#%d: %s", j.prog.Info().Name, j.run, reason))
+		mu.Unlock()
+	}
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -124,22 +158,29 @@ func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
 			defer wg.Done()
 			for ji := range ch {
 				j := jobs[ji]
-				info := j.prog.Info()
-				seed := cfg.Seed*1_000_003 + int64(ji)*7919
-				m := sim.NewMachine(sim.DefaultConfig())
-				vecs := m.Run(j.prog.Stream(rand.New(rand.NewSource(seed))),
-					cfg.MaxInsts, cfg.Interval)
-				out := make([]Sample, len(vecs))
-				for i, v := range vecs {
-					out[i] = Sample{
-						Program:  info.Name,
-						Category: info.Category,
-						Channel:  info.Channel,
-						Label:    info.Label,
-						Run:      j.run,
-						Index:    i,
-						Raw:      v,
+				if ctx.Err() != nil {
+					drop(j, "cancelled before start")
+					continue
+				}
+				var out []Sample
+				var err error
+				for attempt := 0; attempt <= cfg.Retries; attempt++ {
+					// Attempt 0 reproduces the historical seed schedule
+					// exactly; retries shift it so a data-dependent panic is
+					// not replayed verbatim.
+					seed := cfg.Seed*1_000_003 + int64(ji)*7919 + int64(attempt)*104_729
+					out, err = collectOne(ctx, j.prog, j.run, seed, cfg)
+					if err == nil {
+						break
 					}
+				}
+				if err != nil {
+					drop(j, err.Error())
+					continue
+				}
+				if len(out) == 0 && ctx.Err() != nil {
+					drop(j, "cancelled with no samples")
+					continue
 				}
 				results[ji] = out
 			}
@@ -155,6 +196,69 @@ func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
 		ds.Samples = append(ds.Samples, r...)
 	}
 	return ds
+}
+
+// collectOne executes a single program run, converting workload panics into
+// errors and bounding wall-clock time via the config timeout / context.
+func collectOne(ctx context.Context, prog workload.Program, run int, seed int64, cfg CollectConfig) (out []Sample, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("run panicked: %v", r)
+		}
+	}()
+	info := prog.Info()
+	var stream isa.Stream = prog.Stream(rand.New(rand.NewSource(seed)))
+	if cfg.Timeout > 0 || ctx.Done() != nil {
+		stream = boundStream(ctx, stream, cfg.Timeout)
+	}
+	m := sim.NewMachine(sim.DefaultConfig())
+	vecs := m.Run(stream, cfg.MaxInsts, cfg.Interval)
+	out = make([]Sample, len(vecs))
+	for i, v := range vecs {
+		out[i] = Sample{
+			Program:  info.Name,
+			Category: info.Category,
+			Channel:  info.Channel,
+			Label:    info.Label,
+			Run:      run,
+			Index:    i,
+			Raw:      v,
+		}
+	}
+	return out, nil
+}
+
+// boundedStream ends the wrapped op stream when its deadline passes or its
+// context is cancelled, checking every 1024 ops to keep the hot path cheap.
+type boundedStream struct {
+	ctx      context.Context
+	inner    isa.Stream
+	deadline time.Time // zero = none
+	n        uint32
+	done     bool
+}
+
+func boundStream(ctx context.Context, inner isa.Stream, timeout time.Duration) *boundedStream {
+	s := &boundedStream{ctx: ctx, inner: inner}
+	if timeout > 0 {
+		s.deadline = time.Now().Add(timeout)
+	}
+	return s
+}
+
+// Next implements isa.Stream.
+func (s *boundedStream) Next() (isa.Op, bool) {
+	if s.done {
+		return isa.Op{}, false
+	}
+	s.n++
+	if s.n&1023 == 0 {
+		if s.ctx.Err() != nil || (!s.deadline.IsZero() && time.Now().After(s.deadline)) {
+			s.done = true
+			return isa.Op{}, false
+		}
+	}
+	return s.inner.Next()
 }
 
 // Encoder scales raw counter deltas by the maximum matrix M and binarizes

@@ -18,8 +18,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
+	"perspectron/internal/faults"
 	"perspectron/internal/features"
 	"perspectron/internal/perceptron"
 	"perspectron/internal/sim"
@@ -220,27 +222,54 @@ func (d *Detector) Hardware() perceptron.HardwareModel {
 }
 
 // resolve maps feature names onto counter indices for the given machine.
-func (d *Detector) resolve(m *sim.Machine) error {
-	if d.indices != nil && len(d.indices) == len(d.FeatureNames) {
-		return nil
-	}
-	d.indices = make([]int, len(d.FeatureNames))
-	for i, name := range d.FeatureNames {
-		c, ok := m.Reg.Lookup(name)
-		if !ok {
-			return fmt.Errorf("perspectron: counter %q not present on this machine", name)
+// Counters absent from the machine are left unresolved (index -1) and masked
+// during scoring — the degraded serving mode, mirroring the paper's
+// replicated-detector argument that a partial signature still scores. It
+// returns the number of resolved features; the only error is a machine on
+// which none of the detector's counters exist.
+func (d *Detector) resolve(m *sim.Machine) (int, error) {
+	if d.indices == nil || len(d.indices) != len(d.FeatureNames) {
+		d.indices = make([]int, len(d.FeatureNames))
+		for i, name := range d.FeatureNames {
+			if c, ok := m.Reg.Lookup(name); ok {
+				d.indices[i] = c.Index()
+			} else {
+				d.indices[i] = -1
+			}
 		}
-		d.indices[i] = c.Index()
 	}
-	return nil
+	resolved := 0
+	for _, j := range d.indices {
+		if j >= 0 {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		return 0, fmt.Errorf("perspectron: none of the detector's %d counters are present on this machine",
+			len(d.FeatureNames))
+	}
+	return resolved, nil
 }
 
 // scoreSample binarizes one raw counter-delta vector and returns the
-// normalized perceptron output.
-func (d *Detector) scoreSample(raw []float64, point int) float64 {
+// normalized perceptron output plus the number of features that were
+// observable (resolved counter, finite value). Unresolved or fault-masked
+// (NaN/Inf) inputs are skipped and the margin is renormalized over the
+// surviving weights: the score is s/(|bias|+Σ|w_fired|) over firing features
+// only, so losing a random subset shrinks numerator and denominator together
+// and the normalized confidence degrades gracefully instead of collapsing.
+func (d *Detector) scoreSample(raw []float64, point int) (score float64, avail int) {
 	s := d.Bias
 	norm := abs(d.Bias)
 	for i, j := range d.indices {
+		if j < 0 || j >= len(raw) {
+			continue
+		}
+		v := raw[j]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		avail++
 		mx := d.GlobalMax[i]
 		if point >= 0 && point < len(d.PointMax) && d.PointMax[point][i] > 0 {
 			mx = d.PointMax[point][i]
@@ -248,13 +277,13 @@ func (d *Detector) scoreSample(raw []float64, point int) float64 {
 		if mx <= 0 {
 			continue
 		}
-		if raw[j]/mx >= 0.5 {
+		if v/mx >= 0.5 {
 			s += d.Weights[i]
 			norm += abs(d.Weights[i])
 		}
 	}
 	if norm == 0 {
-		return 0
+		return 0, avail
 	}
 	v := s / norm
 	if v > 1 {
@@ -262,7 +291,7 @@ func (d *Detector) scoreSample(raw []float64, point int) float64 {
 	} else if v < -1 {
 		v = -1
 	}
-	return v
+	return v, avail
 }
 
 func abs(v float64) float64 {
@@ -282,23 +311,122 @@ type SamplePoint struct {
 
 // Report is the outcome of monitoring one workload.
 type Report struct {
-	Workload    string
-	Malicious   bool // ground truth
-	Samples     []SamplePoint
-	Detected    bool
-	FirstFlag   int      // index of the first flagged sample (-1 if none)
-	LeakSamples []int    // sample indices at which disclosures completed
-	LeakBefore  bool     // true if the first leak precedes the first flag
-	Categories  []string // reserved for multi-way classification
+	Workload  string
+	Malicious bool // ground truth
+	Samples   []SamplePoint
+	Detected  bool
+	// FirstFlag is the index of the first flagged sample. A negative value
+	// means the workload was never flagged (Detected is then false).
+	FirstFlag int
+	// LeakSamples lists the sample indices at which disclosures completed.
+	LeakSamples []int
+	// LeakBefore reports whether the attack's first disclosure completed
+	// strictly before the first flagged sample — i.e. detection came too
+	// late (or, when FirstFlag < 0, never came). It is always false for
+	// workloads that never leaked (empty LeakSamples).
+	LeakBefore bool
+	Categories []string // reserved for multi-way classification
+	// Degraded is true when the detector could not observe its full feature
+	// set: counters missing from the machine, or values masked by injected
+	// faults. Scores are then renormalized over the surviving weights.
+	Degraded bool
+	// Coverage is the mean fraction (0..1] of the detector's features that
+	// were observable per scored sample. 1.0 means full fidelity; it is the
+	// denominator of the degraded-mode confidence (see docs/FAULTS.md).
+	Coverage float64
 }
 
 // Monitor runs the workload for maxInsts committed instructions on a fresh
 // machine with the detector attached, scoring every sampling interval. seed
 // drives the workload's data-dependent behaviour.
 func (d *Detector) Monitor(w Workload, maxInsts uint64, seed int64) (*Report, error) {
+	return d.monitor(w, maxInsts, seed, nil)
+}
+
+// FaultConfig selects deterministic counter-level faults for MonitorFaulty.
+// The zero value injects nothing. All faults draw from Seed, so a
+// (detector, workload, FaultConfig) triple is fully reproducible.
+type FaultConfig struct {
+	Seed int64
+	// Dropout is the per-sample probability that each counter value goes
+	// missing (a transient sensor-read failure).
+	Dropout float64
+	// StuckZero pins this persistent fraction of counters to zero.
+	StuckZero float64
+	// StuckMax pins this persistent fraction of counters to a saturated
+	// 32-bit counter value.
+	StuckMax float64
+	// Noise is the relative sigma of multiplicative Gaussian noise.
+	Noise float64
+	// Jitter scales whole samples by a uniform factor in [1-Jitter,1+Jitter],
+	// modelling sampling-interval drift.
+	Jitter float64
+	// Blackout silences every counter of the named pipeline component
+	// ("dcache", "branchPred", ...) for samples [BlackoutFrom, BlackoutTo);
+	// BlackoutTo <= 0 means to the end of the run.
+	Blackout     string
+	BlackoutFrom int
+	BlackoutTo   int
+}
+
+// schedule compiles the config into a fault schedule for machine m.
+func (c FaultConfig) schedule(m *sim.Machine) (*faults.Schedule, error) {
+	var models []faults.Model
+	if c.Dropout > 0 {
+		models = append(models, faults.Dropout{Rate: c.Dropout})
+	}
+	if c.StuckZero > 0 {
+		models = append(models, faults.StuckAtZero{Frac: c.StuckZero})
+	}
+	if c.StuckMax > 0 {
+		models = append(models, faults.StuckAtMax{Frac: c.StuckMax})
+	}
+	if c.Noise > 0 {
+		models = append(models, faults.Noise{Sigma: c.Noise})
+	}
+	if c.Jitter > 0 {
+		models = append(models, faults.Jitter{Frac: c.Jitter})
+	}
+	if c.Blackout != "" {
+		b, err := faults.NewBlackout(m.Reg, c.Blackout, c.BlackoutFrom, c.BlackoutTo)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, b)
+	}
+	if len(models) == 0 {
+		return nil, nil
+	}
+	return faults.NewSchedule(c.Seed, models...), nil
+}
+
+// MonitorFaulty is Monitor with counter-level faults injected into the
+// machine's sampled vectors — the robustness-evaluation entry point. The
+// detector runs in degraded mode over whatever signal survives; the report's
+// Degraded and Coverage fields quantify the loss.
+func (d *Detector) MonitorFaulty(w Workload, maxInsts uint64, seed int64, fc FaultConfig) (*Report, error) {
+	return d.monitor(w, maxInsts, seed, func(m *sim.Machine) error {
+		sched, err := fc.schedule(m)
+		if err != nil {
+			return err
+		}
+		if sched != nil {
+			sched.Attach(m)
+		}
+		return nil
+	})
+}
+
+func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Report, error) {
 	m := sim.NewMachine(sim.DefaultConfig())
-	if err := d.resolve(m); err != nil {
+	resolved, err := d.resolve(m)
+	if err != nil {
 		return nil, err
+	}
+	if inject != nil {
+		if err := inject(m); err != nil {
+			return nil, err
+		}
 	}
 	stream := w.Stream(rand.New(rand.NewSource(seed)))
 	vecs := m.Run(stream, maxInsts, d.Interval)
@@ -309,8 +437,13 @@ func (d *Detector) Monitor(w Workload, maxInsts uint64, seed int64) (*Report, er
 		Malicious: info.Label == workload.Malicious,
 		FirstFlag: -1,
 	}
+	nf := len(d.FeatureNames)
+	coverageSum := 0.0
 	for i, raw := range vecs {
-		score := d.scoreSample(raw, i)
+		score, avail := d.scoreSample(raw, i)
+		if nf > 0 {
+			coverageSum += float64(avail) / float64(nf)
+		}
 		flagged := score >= d.Threshold
 		rep.Samples = append(rep.Samples, SamplePoint{
 			Index:   i,
@@ -323,6 +456,14 @@ func (d *Detector) Monitor(w Workload, maxInsts uint64, seed int64) (*Report, er
 			rep.Detected = true
 		}
 	}
+	if len(vecs) > 0 && nf > 0 {
+		rep.Coverage = coverageSum / float64(len(vecs))
+	} else if nf > 0 {
+		rep.Coverage = float64(resolved) / float64(nf)
+	} else {
+		rep.Coverage = 1
+	}
+	rep.Degraded = rep.Coverage < 1-1e-12
 	if ls, ok := stream.(*workload.LoopStream); ok {
 		for _, mark := range ls.LeakMarks() {
 			rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
@@ -342,18 +483,63 @@ func (d *Detector) Save(w io.Writer) error {
 	return enc.Encode(d)
 }
 
-// Load reads a detector written by Save.
+// Load reads a detector written by Save. It is a strict validator: a
+// detector that decodes but carries non-finite weights, inconsistent
+// normalization-matrix widths or a non-positive sampling interval is
+// rejected here rather than misbehaving later in scoring.
 func Load(r io.Reader) (*Detector, error) {
 	var d Detector
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("perspectron: decoding detector: %w", err)
 	}
-	if len(d.Weights) != len(d.FeatureNames) {
-		return nil, fmt.Errorf("perspectron: corrupt detector: %d weights for %d features",
-			len(d.Weights), len(d.FeatureNames))
+	if err := d.validate(); err != nil {
+		return nil, fmt.Errorf("perspectron: corrupt detector: %w", err)
 	}
 	return &d, nil
 }
+
+// validate checks the structural and numeric invariants Save guarantees.
+func (d *Detector) validate() error {
+	n := len(d.FeatureNames)
+	if n == 0 {
+		return fmt.Errorf("no features")
+	}
+	if len(d.Weights) != n {
+		return fmt.Errorf("%d weights for %d features", len(d.Weights), n)
+	}
+	if len(d.GlobalMax) != n {
+		return fmt.Errorf("%d global maxima for %d features", len(d.GlobalMax), n)
+	}
+	if d.Interval == 0 {
+		return fmt.Errorf("non-positive sampling interval")
+	}
+	if !finite(d.Bias) || !finite(d.Threshold) {
+		return fmt.Errorf("non-finite bias or threshold")
+	}
+	for i, w := range d.Weights {
+		if !finite(w) {
+			return fmt.Errorf("non-finite weight for feature %q", d.FeatureNames[i])
+		}
+	}
+	for i, m := range d.GlobalMax {
+		if !finite(m) {
+			return fmt.Errorf("non-finite global max for feature %q", d.FeatureNames[i])
+		}
+	}
+	for p, row := range d.PointMax {
+		if len(row) != n {
+			return fmt.Errorf("point-max row %d has width %d, want %d", p, len(row), n)
+		}
+		for i, m := range row {
+			if !finite(m) {
+				return fmt.Errorf("non-finite point max at (%d, %q)", p, d.FeatureNames[i])
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // TopFeatures returns the k most suspicious (positive-weight) and most
 // benign (negative-weight) features with their weights — the

@@ -85,7 +85,7 @@ func (d *Detector) MonitorWithPolicy(w Workload, maxInsts uint64, seed int64, po
 		return nil, fmt.Errorf("perspectron: nil policy")
 	}
 	m := sim.NewMachine(sim.DefaultConfig())
-	if err := d.resolve(m); err != nil {
+	if _, err := d.resolve(m); err != nil {
 		return nil, err
 	}
 
@@ -110,8 +110,13 @@ func (d *Detector) MonitorWithPolicy(w Workload, maxInsts uint64, seed int64, po
 		m.InjectBPNoise(noise)
 	}
 
+	nf := len(d.FeatureNames)
+	coverageSum := 0.0
 	m.OnSample = func(idx int, delta []float64) {
-		score := d.scoreSample(delta, idx)
+		score, avail := d.scoreSample(delta, idx)
+		if nf > 0 {
+			coverageSum += float64(avail) / float64(nf)
+		}
 		flagged := score >= d.Threshold
 		rep.Samples = append(rep.Samples, SamplePoint{
 			Index:   idx,
@@ -151,6 +156,11 @@ func (d *Detector) MonitorWithPolicy(w Workload, maxInsts uint64, seed int64, po
 			rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
 		}
 	}
+	rep.Coverage = 1
+	if n := len(rep.Samples); n > 0 && nf > 0 {
+		rep.Coverage = coverageSum / float64(n)
+	}
+	rep.Degraded = rep.Coverage < 1-1e-12
 	if len(rep.LeakSamples) > 0 {
 		rep.LeakBefore = rep.FirstFlag < 0 || rep.LeakSamples[0] < rep.FirstFlag
 	}
