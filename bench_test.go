@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"perspectron"
+	"perspectron/internal/encoding"
 	"perspectron/internal/eval"
 	"perspectron/internal/experiments"
 	"perspectron/internal/features"
@@ -354,8 +355,8 @@ func BenchmarkAblationNormalization(b *testing.B) {
 	p := benchPrep()
 	b.Run("per-point", func(b *testing.B) { ablationCV(b, p.Sel.Indices, true, newPerceptron) })
 	b.Run("global-max", func(b *testing.B) {
-		stats.GlobalOnly = true
-		defer func() { stats.GlobalOnly = false }()
+		encoding.GlobalOnly = true
+		defer func() { encoding.GlobalOnly = false }()
 		ablationCV(b, p.Sel.Indices, true, newPerceptron)
 	})
 }

@@ -1,11 +1,14 @@
 package perspectron
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
+	"sort"
 
+	"perspectron/internal/corpus"
+	"perspectron/internal/encoding"
 	"perspectron/internal/perceptron"
 	"perspectron/internal/sim"
 	"perspectron/internal/trace"
@@ -29,17 +32,14 @@ type Classifier struct {
 	indices []int
 }
 
-// TrainClassifier collects traces and trains the one-vs-rest bank.
+// TrainClassifier collects traces (through the process-wide corpus store, so
+// a corpus the detector already trained on is reused, not re-simulated) and
+// trains the one-vs-rest bank.
 func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("perspectron: no training workloads")
 	}
-	ds := trace.Collect(workloads, trace.CollectConfig{
-		MaxInsts: opts.MaxInsts,
-		Interval: opts.Interval,
-		Seed:     opts.Seed,
-		Runs:     opts.Runs,
-	})
+	ds := corpus.Default().Dataset(workloads, opts.CollectConfig())
 	enc := trace.NewEncoder(ds)
 	X, _ := enc.BinaryMatrix(ds)
 
@@ -59,7 +59,7 @@ func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 	for c := range classSet {
 		classes = append(classes, c)
 	}
-	sortStrings(classes)
+	sort.Strings(classes)
 	if len(classes) < 2 {
 		return nil, fmt.Errorf("perspectron: classifier needs at least two classes, got %v", classes)
 	}
@@ -82,66 +82,58 @@ func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 		c.Weights = append(c.Weights, det.W)
 		c.Biases = append(c.Biases, det.Bias)
 	}
-	c.indices = identity(ds.NumFeatures())
+	c.indices = encoding.Identity(ds.NumFeatures())
 	return c, nil
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
-func identity(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// resolve maps feature names to counter indices on the machine.
-func (c *Classifier) resolve(m *sim.Machine) error {
-	if c.indices != nil && len(c.indices) == len(c.FeatureNames) {
-		return nil
-	}
-	c.indices = make([]int, len(c.FeatureNames))
-	for i, name := range c.FeatureNames {
-		cc, ok := m.Reg.Lookup(name)
-		if !ok {
-			return fmt.Errorf("perspectron: counter %q not present on this machine", name)
-		}
-		c.indices[i] = cc.Index()
-	}
-	return nil
-}
-
-// classScores computes per-class normalized outputs for one raw delta.
-func (c *Classifier) classScores(raw []float64) []float64 {
-	bits := make([]float64, len(c.indices))
-	for i, j := range c.indices {
-		if mx := c.GlobalMax[i]; mx > 0 && raw[j]/mx >= 0.5 {
-			bits[i] = 1
-		}
-	}
-	out := make([]float64, len(c.Classes))
-	for ci := range c.Classes {
-		s := c.Biases[ci]
-		norm := abs(c.Biases[ci])
-		w := c.Weights[ci]
-		for i, b := range bits {
-			if b != 0 {
-				s += w[i]
-				norm += abs(w[i])
+// resolve maps feature names to counter indices on the machine. Counters
+// absent from the machine are left unresolved (index -1) and masked during
+// scoring, like Detector.resolve: the classifier serves in degraded mode on
+// whatever signal survives. It returns the number of resolved features; the
+// only error is a machine carrying none of them.
+func (c *Classifier) resolve(m *sim.Machine) (int, error) {
+	if c.indices == nil || len(c.indices) != len(c.FeatureNames) {
+		c.indices = make([]int, len(c.FeatureNames))
+		for i, name := range c.FeatureNames {
+			if cc, ok := m.Reg.Lookup(name); ok {
+				c.indices[i] = cc.Index()
+			} else {
+				c.indices[i] = -1
 			}
 		}
-		if norm > 0 {
-			out[ci] = s / norm
+	}
+	resolved := 0
+	for _, j := range c.indices {
+		if j >= 0 {
+			resolved++
 		}
 	}
-	return out
+	if resolved == 0 {
+		return 0, fmt.Errorf("perspectron: none of the classifier's %d counters are present on this machine",
+			len(c.FeatureNames))
+	}
+	return resolved, nil
+}
+
+// encoding returns the classifier's slot-indexed view of the shared
+// normalize/binarize implementation. The classifier keeps only global
+// maxima, so every execution point scales identically.
+func (c *Classifier) encoding() *encoding.Encoding {
+	return &encoding.Encoding{GlobalMax: c.GlobalMax}
+}
+
+// classScores computes per-class normalized outputs for one raw delta
+// through the shared encoding: unresolved or fault-masked (NaN/Inf) counters
+// are skipped and each class margin is renormalized over the surviving
+// weights, exactly like Detector.scoreSample. avail is the number of
+// observable features.
+func (c *Classifier) classScores(raw []float64) (scores []float64, avail int) {
+	bits, avail := c.encoding().Bits(raw, c.indices, -1, nil)
+	out := make([]float64, len(c.Classes))
+	for ci := range c.Classes {
+		out[ci] = encoding.Margin(c.Biases[ci], c.Weights[ci], bits)
+	}
+	return out, avail
 }
 
 // Classification is the outcome of classifying one workload run.
@@ -153,22 +145,63 @@ type Classification struct {
 	Class string
 	// Confidence is Votes[Class] / total intervals.
 	Confidence float64
+	// Degraded is true when the classifier could not observe its full
+	// feature set: counters missing from the machine, or values masked by
+	// injected faults. Class margins are then renormalized over the
+	// surviving weights.
+	Degraded bool
+	// Coverage is the mean fraction (0..1] of the classifier's features that
+	// were observable per scored interval.
+	Coverage float64
 }
 
 // Classify runs the workload and names its class by per-interval majority
 // vote.
 func (c *Classifier) Classify(w Workload, maxInsts uint64, seed int64) (*Classification, error) {
+	return c.classify(w, maxInsts, seed, nil)
+}
+
+// ClassifyFaulty is Classify with counter-level faults injected into the
+// machine's sampled vectors — the multi-way analogue of MonitorFaulty. The
+// classifier votes in degraded mode over whatever signal survives.
+func (c *Classifier) ClassifyFaulty(w Workload, maxInsts uint64, seed int64, fc FaultConfig) (*Classification, error) {
+	return c.classify(w, maxInsts, seed, func(m *sim.Machine) error {
+		sched, err := fc.schedule(m)
+		if err != nil {
+			return err
+		}
+		if sched != nil {
+			sched.Attach(m)
+		}
+		return nil
+	})
+}
+
+func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Classification, error) {
 	m := sim.NewMachine(sim.DefaultConfig())
-	if err := c.resolve(m); err != nil {
+	if _, err := c.resolve(m); err != nil {
 		return nil, err
 	}
-	vecs := m.Run(w.Stream(rand.New(rand.NewSource(seed))), maxInsts, c.Interval)
-	if len(vecs) == 0 {
-		return nil, fmt.Errorf("perspectron: workload produced no samples")
+	if inject != nil {
+		if err := inject(m); err != nil {
+			return nil, err
+		}
 	}
 	res := &Classification{Workload: w.Info().Name, Votes: map[string]int{}}
-	for _, raw := range vecs {
-		scores := c.classScores(raw)
+	nf := len(c.FeatureNames)
+	coverageSum := 0.0
+	samples := 0
+	src := trace.NewRunSource(context.Background(), m, w, 0, seed,
+		trace.CollectConfig{MaxInsts: maxInsts, Interval: c.Interval})
+	for {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		scores, avail := c.classScores(s.Raw)
+		if nf > 0 {
+			coverageSum += float64(avail) / float64(nf)
+		}
 		best := 0
 		for i := 1; i < len(scores); i++ {
 			if scores[i] > scores[best] {
@@ -176,13 +209,26 @@ func (c *Classifier) Classify(w Workload, maxInsts uint64, seed int64) (*Classif
 			}
 		}
 		res.Votes[c.Classes[best]]++
+		samples++
+	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("perspectron: classifying %s: %w", res.Workload, err)
+	}
+	if samples == 0 {
+		return nil, fmt.Errorf("perspectron: workload produced no samples")
 	}
 	for class, n := range res.Votes {
 		if n > res.Votes[res.Class] || res.Class == "" {
 			res.Class = class
 		}
 	}
-	res.Confidence = float64(res.Votes[res.Class]) / float64(len(vecs))
+	res.Confidence = float64(res.Votes[res.Class]) / float64(samples)
+	if nf > 0 {
+		res.Coverage = coverageSum / float64(samples)
+	} else {
+		res.Coverage = 1
+	}
+	res.Degraded = res.Coverage < 1-1e-12
 	return res, nil
 }
 

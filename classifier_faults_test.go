@@ -1,0 +1,109 @@
+package perspectron
+
+// Degraded-mode serving for the multi-way classifier, mirroring the detector
+// coverage in faults_test.go: fault-masked (NaN/Inf) counter values are
+// skipped and each class margin is renormalized over the surviving weights.
+// Before the shared-encoding refactor the classifier had no masking at all —
+// a saturated counter (+Inf) always fired its bit and NaN poisoned nothing
+// visibly but corrupted no score only by luck of the >= comparison.
+
+import (
+	"math"
+	"testing"
+)
+
+// maskedClassifier returns a fixed synthetic classifier for unit-level
+// scoring checks.
+func maskedClassifier() *Classifier {
+	return &Classifier{
+		Classes:      []string{"benign", "x"},
+		FeatureNames: []string{"a", "b"},
+		Weights:      [][]float64{{0.5, -0.5}, {-0.5, 0.5}},
+		Biases:       []float64{0, 0},
+		GlobalMax:    []float64{10, 10},
+		indices:      []int{0, 1},
+	}
+}
+
+func TestClassifierFaultMasking(t *testing.T) {
+	c := maskedClassifier()
+
+	// Baseline: both counters healthy, both bits fire.
+	full, avail := c.classScores([]float64{9, 9})
+	if avail != 2 {
+		t.Fatalf("healthy avail = %d, want 2", avail)
+	}
+
+	// A saturated counter (+Inf, the fault sentinel) must be masked, not
+	// fired: the score equals the one-feature run, not the two-feature one.
+	masked, avail := c.classScores([]float64{9, math.Inf(1)})
+	if avail != 1 {
+		t.Fatalf("Inf avail = %d, want 1 (masked)", avail)
+	}
+	oneBit, _ := c.classScores([]float64{9, 0})
+	for ci := range c.Classes {
+		if masked[ci] != oneBit[ci] {
+			t.Errorf("class %s: Inf-masked score %v != one-feature score %v",
+				c.Classes[ci], masked[ci], oneBit[ci])
+		}
+		if masked[ci] == full[ci] {
+			t.Errorf("class %s: Inf-masked score %v indistinguishable from full score",
+				c.Classes[ci], masked[ci])
+		}
+	}
+
+	// NaN likewise.
+	if _, avail := c.classScores([]float64{math.NaN(), 9}); avail != 1 {
+		t.Fatalf("NaN avail = %d, want 1 (masked)", avail)
+	}
+
+	// Renormalization: with one surviving weight of magnitude 0.5 the margin
+	// must still span the full [-1, 1] confidence range — only bit 0 fires,
+	// which carries +0.5 for "benign" and -0.5 for "x".
+	if masked[0] != 1 || masked[1] != -1 {
+		t.Errorf("renormalized margins = %v, want [1 -1]", masked)
+	}
+}
+
+func TestClassifyCleanRunNotDegraded(t *testing.T) {
+	c := sharedClassifier(t)
+	res, err := c.Classify(BenignWorkloads()[0], 60_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("clean run marked degraded (coverage %v)", res.Coverage)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("clean run coverage = %v, want 1", res.Coverage)
+	}
+}
+
+// TestClassifierDropoutDegraded is the classifier analogue of the detector's
+// TestDropoutAcceptance: with 20% random counter dropout the classifier must
+// keep voting, report degraded mode, and reflect the loss in Coverage.
+func TestClassifierDropoutDegraded(t *testing.T) {
+	c := sharedClassifier(t)
+	fc := FaultConfig{Seed: 99, Dropout: 0.2}
+	res, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 80_000, 5, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == "" || len(res.Votes) == 0 {
+		t.Fatalf("degraded classify produced no verdict: %+v", res)
+	}
+	if !res.Degraded {
+		t.Errorf("dropout not reflected in Degraded")
+	}
+	if res.Coverage < 0.7 || res.Coverage > 0.9 {
+		t.Errorf("coverage %.3f, want ~0.8 under 20%% dropout", res.Coverage)
+	}
+
+	clean, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 80_000, 5, FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded {
+		t.Errorf("empty FaultConfig degraded the run")
+	}
+}

@@ -2,9 +2,15 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|table4|fig3|fig4|fig5|timing|weights|
-//	                  multiway|mitigate|rhmd|zeroday|sched|faulttol]
-//	            [-quick] [-seed N] [-insts N] [-runs N]
+//	experiments [-run all|fig1,table3,...|fig1|table1|table2|table3|table4|fig3|fig4|fig5|
+//	                  timing|weights|multiway|mitigate|rhmd|zeroday|sched|faulttol]
+//	            [-quick] [-seed N] [-insts N] [-runs N] [-cachedir DIR]
+//
+// -run accepts a single experiment, "all", or a comma-separated list run in
+// the canonical order. Every experiment collects its corpus through the
+// shared artifact store, so a dataset is simulated at most once per process;
+// -cachedir extends the reuse across invocations. A cache-traffic summary is
+// printed after the run.
 //
 // Each experiment prints its paper artefact as text, with the paper's
 // reported numbers alongside for comparison. EXPERIMENTS.md records a full
@@ -18,17 +24,19 @@ import (
 	"strings"
 	"time"
 
+	"perspectron/internal/corpus"
 	"perspectron/internal/experiments"
 )
 
 type renderer interface{ Render() string }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (all, fig1, table1, table2, table3, table4, fig3, fig4, fig5, timing, weights, multiway, mitigate, rhmd, zeroday, sched, faulttol)")
+	run := flag.String("run", "all", "experiment(s) to run: all, a single name, or a comma-separated list (fig1, table1, table2, table3, table4, fig3, fig4, fig5, timing, weights, multiway, mitigate, rhmd, zeroday, sched, faulttol)")
 	quick := flag.Bool("quick", false, "use the reduced quick configuration")
 	seed := flag.Int64("seed", 1, "global random seed")
 	insts := flag.Uint64("insts", 0, "override committed instructions per program run")
 	runs := flag.Int("runs", 0, "override independent runs per program")
+	cacheDir := flag.String("cachedir", "", "on-disk corpus cache directory (reuses collected datasets across invocations)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -41,6 +49,12 @@ func main() {
 	}
 	if *runs > 0 {
 		cfg.Runs = *runs
+	}
+	if *cacheDir != "" {
+		if err := corpus.Default().SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cachedir: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	all := []struct {
@@ -65,20 +79,47 @@ func main() {
 		{"faulttol", func() renderer { return experiments.FaultTol(cfg) }},
 	}
 
-	want := strings.ToLower(*run)
-	matched := false
-	for _, e := range all {
-		if want != "all" && want != e.name {
+	// -run accepts "all", one name, or a comma-separated list; experiments
+	// always execute in the canonical order above, independent of the order
+	// named on the command line.
+	want := map[string]bool{}
+	runAll := false
+	for _, name := range strings.Split(strings.ToLower(*run), ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
 			continue
 		}
-		matched = true
+		if name == "all" {
+			runAll = true
+			continue
+		}
+		known := false
+		for _, e := range all {
+			if e.name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		want[name] = true
+	}
+	if !runAll && len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments selected by -run %q\n", *run)
+		os.Exit(2)
+	}
+
+	before := corpus.Default().Stats()
+	for _, e := range all {
+		if !runAll && !want[e.name] {
+			continue
+		}
 		start := time.Now()
 		fmt.Printf("==== %s ====\n\n", e.name)
 		fmt.Println(e.fn().Render())
 		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
-	if !matched {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
-		os.Exit(2)
-	}
+	fmt.Printf("[corpus cache: %s]\n", corpus.Default().Stats().Sub(before))
 }

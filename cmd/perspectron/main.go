@@ -2,7 +2,7 @@
 //
 // Subcommands:
 //
-//	perspectron train  [-out detector.json] [-insts N] [-runs N] [-seed N]
+//	perspectron train  [-out detector.json] [-insts N] [-runs N] [-seed N] [-cachedir DIR]
 //	perspectron detect [-in detector.json] -workload <name> [-channel fr|ff|pp]
 //	                   [-bandwidth F] [-poly N] [-insts N] [-seed N]
 //	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-noise F]
@@ -66,6 +66,7 @@ func cmdTrain(args []string) {
 	runs := fs.Int("runs", 2, "runs per workload")
 	seed := fs.Int64("seed", 1, "random seed")
 	interval := fs.Uint64("interval", 10_000, "sampling granularity")
+	cacheDir := fs.String("cachedir", "", "on-disk corpus cache directory (reuses collected datasets across invocations)")
 	fs.Parse(args)
 
 	opts := perspectron.DefaultOptions()
@@ -73,6 +74,11 @@ func cmdTrain(args []string) {
 	opts.Runs = *runs
 	opts.Seed = *seed
 	opts.Interval = *interval
+	if *cacheDir != "" {
+		if err := perspectron.SetCacheDir(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Fprintln(os.Stderr, "training on the full workload corpus...")
 	det, err := perspectron.Train(perspectron.TrainingWorkloads(), opts)
@@ -242,12 +248,18 @@ func cmdClassifyTrain(args []string) {
 	insts := fs.Uint64("insts", 300_000, "committed instructions per training run")
 	runs := fs.Int("runs", 2, "runs per workload")
 	seed := fs.Int64("seed", 1, "random seed")
+	cacheDir := fs.String("cachedir", "", "on-disk corpus cache directory (shared with `perspectron train`)")
 	fs.Parse(args)
 
 	opts := perspectron.DefaultOptions()
 	opts.MaxInsts = *insts
 	opts.Runs = *runs
 	opts.Seed = *seed
+	if *cacheDir != "" {
+		if err := perspectron.SetCacheDir(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
 
 	fmt.Fprintln(os.Stderr, "training the multi-way classifier...")
 	c, err := perspectron.TrainClassifier(perspectron.TrainingWorkloads(), opts)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tracegen [-out traces.csv] [-insts 300000] [-interval 10000]
-//	         [-runs 2] [-seed 1] [-workloads all|attacks|benign]
+//	         [-runs 2] [-seed 1] [-workloads all|attacks|benign] [-cachedir DIR]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"perspectron/internal/corpus"
 	"perspectron/internal/sim"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
@@ -29,7 +30,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "global random seed")
 	which := flag.String("workloads", "all", "workload set: all, attacks, benign")
 	statsFor := flag.String("stats", "", "instead of CSV traces, run this one workload and dump a gem5-style stats.txt to stdout")
+	cacheDir := flag.String("cachedir", "", "on-disk corpus cache directory shared with the other tools")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		if err := corpus.Default().SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "cachedir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *statsFor != "" {
 		dumpStats(*statsFor, *insts, *interval, *seed)
@@ -53,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ds := trace.Collect(progs, trace.CollectConfig{
+	ds := corpus.Default().Dataset(progs, trace.CollectConfig{
 		MaxInsts: *insts,
 		Interval: *interval,
 		Seed:     *seed,

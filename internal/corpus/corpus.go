@@ -1,0 +1,252 @@
+// Package corpus is the collect-once artifact engine between the simulator
+// and every consumer of training data. Datasets (trace.Collect outputs) and
+// Prepared bundles (dataset + encoder + feature selection) are memoized
+// in-process, keyed by a content fingerprint of (workload set,
+// CollectConfig); an optional on-disk cache extends the reuse across
+// process invocations. Collection is deterministic for a fixed fingerprint
+// (per-run seeds derive from the config seed), so a cache hit is
+// byte-identical to a fresh collection — the store trades nothing but the
+// simulation time.
+//
+// Callers share the process-wide Default store unless they need isolation
+// (tests use private stores to count collections). Cached datasets are
+// shared across consumers and must be treated as immutable; derive with
+// Dataset.Filter rather than mutating samples in place.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"perspectron/internal/features"
+	"perspectron/internal/sim"
+	"perspectron/internal/trace"
+	"perspectron/internal/workload"
+)
+
+// Prepared bundles a dataset with its encoder and feature selection — the
+// shared front half of training and most experiments.
+type Prepared struct {
+	DS  *trace.Dataset
+	Enc *trace.Encoder
+	Sel features.Selection
+}
+
+// Stats counts the store's traffic: how many datasets were actually
+// simulated versus served from memory or disk, and the same split for
+// prepared bundles (encoder + feature selection).
+type Stats struct {
+	Collections int // datasets simulated from scratch
+	MemoryHits  int // datasets served from the in-process map
+	DiskHits    int // datasets loaded from the on-disk cache
+	Prepared    int // encoder+selection bundles computed
+	PreparedHit int // bundles served from memory
+}
+
+// Sub returns the component-wise difference s - o, for measuring the
+// traffic of one span of work against a long-lived store.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Collections: s.Collections - o.Collections,
+		MemoryHits:  s.MemoryHits - o.MemoryHits,
+		DiskHits:    s.DiskHits - o.DiskHits,
+		Prepared:    s.Prepared - o.Prepared,
+		PreparedHit: s.PreparedHit - o.PreparedHit,
+	}
+}
+
+// String renders the one-line cache summary the experiments CLI prints.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d collected, %d reused in-process, %d loaded from disk (selections: %d computed, %d reused)",
+		s.Collections, s.MemoryHits, s.DiskHits, s.Prepared, s.PreparedHit)
+}
+
+// Store is a content-addressed artifact cache. The zero value is not ready;
+// use NewStore. All methods are safe for concurrent use, and concurrent
+// requests for the same key collapse into one collection.
+type Store struct {
+	mu       sync.Mutex
+	dir      string // on-disk cache directory ("" = memory only)
+	datasets map[string]*trace.Dataset
+	prepared map[string]*Prepared
+	inflight map[string]*sync.WaitGroup
+	stats    Stats
+
+	// collect is the collection backend, replaceable in tests.
+	collect func([]workload.Program, trace.CollectConfig) *trace.Dataset
+}
+
+// NewStore returns an empty in-memory store.
+func NewStore() *Store {
+	return &Store{
+		datasets: map[string]*trace.Dataset{},
+		prepared: map[string]*Prepared{},
+		inflight: map[string]*sync.WaitGroup{},
+		collect:  trace.Collect,
+	}
+}
+
+var defaultStore = NewStore()
+
+// Default returns the process-wide store shared by the public Train APIs,
+// the experiments, and the CLIs.
+func Default() *Store { return defaultStore }
+
+// SetCacheDir enables the on-disk cache under dir (creating it if needed);
+// an empty dir disables disk caching. Entries are written after each fresh
+// collection and consulted before simulating.
+func (s *Store) SetCacheDir(dir string) error {
+	if dir != "" {
+		if err := ensureDir(dir); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.dir = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the store's traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// featureSpaceID fingerprints the simulated machine's counter inventory
+// once per process: a cached dataset is only valid for the feature space it
+// was collected on, so the dataset key incorporates this.
+var featureSpaceID = sync.OnceValue(func() string {
+	m := sim.NewMachine(sim.DefaultConfig())
+	h := sha256.New()
+	for _, name := range m.Reg.Names() {
+		fmt.Fprintln(h, name)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+})
+
+// DatasetKey fingerprints a collection request: the workload identities (in
+// order), every output-relevant CollectConfig field, and the machine's
+// counter inventory. Workloads are identified by their Info — the generator
+// name encodes every behavioural parameter (channel, bandwidth factor,
+// polymorphic variant), and per-run randomness derives from cfg.Seed, so
+// equal keys collect byte-identical datasets. cfg.Parallel is excluded: it
+// changes scheduling, not results.
+func DatasetKey(progs []workload.Program, cfg trace.CollectConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "corpus/v1 features=%s\n", featureSpaceID())
+	fmt.Fprintf(h, "insts=%d interval=%d seed=%d runs=%d timeout=%s retries=%d\n",
+		cfg.MaxInsts, cfg.Interval, cfg.Seed, cfg.Runs, cfg.Timeout, cfg.Retries)
+	for _, p := range progs {
+		i := p.Info()
+		fmt.Fprintf(h, "%s|%s|%s|%d\n", i.Name, i.Category, i.Channel, i.Label)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// Dataset returns the collected dataset for (progs, cfg), simulating it at
+// most once per key: repeat requests are served from memory, then from the
+// on-disk cache when one is configured. Deterministic seeding makes every
+// path byte-identical.
+func (s *Store) Dataset(progs []workload.Program, cfg trace.CollectConfig) *trace.Dataset {
+	key := DatasetKey(progs, cfg)
+	for {
+		s.mu.Lock()
+		if ds, ok := s.datasets[key]; ok {
+			s.stats.MemoryHits++
+			s.mu.Unlock()
+			return ds
+		}
+		if wg, busy := s.inflight[key]; busy {
+			s.mu.Unlock()
+			wg.Wait() // another goroutine is collecting this key
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		s.inflight[key] = wg
+		dir := s.dir
+		s.mu.Unlock()
+
+		ds, fromDisk := s.load(dir, key)
+		if ds == nil {
+			ds = s.collect(progs, cfg)
+			if dir != "" && cacheable(ds, cfg) {
+				s.save(dir, key, ds)
+			}
+		}
+		s.mu.Lock()
+		s.datasets[key] = ds
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Collections++
+		}
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		wg.Done()
+		return ds
+	}
+}
+
+// cacheable reports whether a dataset may be persisted: runs dropped by
+// timeouts or panics make the artifact wall-clock-dependent, so only
+// complete, deterministic collections go to disk.
+func cacheable(ds *trace.Dataset, cfg trace.CollectConfig) bool {
+	return len(ds.Dropped) == 0 && cfg.Timeout == 0
+}
+
+// selKey fingerprints a feature-selection configuration.
+func selKey(datasetKey string, selCfg features.SelectConfig) string {
+	return fmt.Sprintf("%s/sel:g=%v,m=%d,mi=%v",
+		datasetKey, selCfg.GroupThreshold, selCfg.MaxFeatures, selCfg.MinMI)
+}
+
+// Prepared returns the dataset for (progs, cfg) together with its trained
+// encoder and the paper's feature selection under selCfg, computing each
+// layer at most once: the dataset via Dataset, the encoder + selection
+// memoized per (dataset, selCfg).
+func (s *Store) Prepared(progs []workload.Program, cfg trace.CollectConfig, selCfg features.SelectConfig) *Prepared {
+	dsKey := DatasetKey(progs, cfg)
+	key := selKey(dsKey, selCfg)
+	s.mu.Lock()
+	if p, ok := s.prepared[key]; ok {
+		s.stats.PreparedHit++
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+
+	ds := s.Dataset(progs, cfg)
+	enc := trace.NewEncoder(ds)
+	X, y := enc.Matrix(ds)
+	sel := features.Select(X, y, ds.Components, selCfg)
+	p := &Prepared{DS: ds, Enc: enc, Sel: sel}
+
+	s.mu.Lock()
+	if prev, ok := s.prepared[key]; ok { // concurrent preparer won
+		s.mu.Unlock()
+		return prev
+	}
+	s.prepared[key] = p
+	s.stats.Prepared++
+	s.mu.Unlock()
+	return p
+}
+
+// Keys returns the dataset keys currently memoized, sorted — a debugging
+// and test aid.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.datasets))
+	for k := range s.datasets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"perspectron/internal/trace"
+)
+
+// diskFormat versions the on-disk artifact encoding; bump it when the
+// Dataset shape changes so stale caches are ignored rather than misread.
+const diskFormat = 1
+
+// artifact is the on-disk envelope around a dataset. gob preserves float64
+// bit patterns exactly, so a reloaded dataset is byte-identical to the
+// collection that produced it.
+type artifact struct {
+	Format  int
+	Key     string
+	Dataset *trace.Dataset
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+func (s *Store) path(dir, key string) string {
+	return filepath.Join(dir, key+".dataset.gob.gz")
+}
+
+// load tries the on-disk cache; a miss, a corrupt file or a key mismatch
+// all return nil (the caller then collects fresh). fromDisk reports a hit.
+func (s *Store) load(dir, key string) (ds *trace.Dataset, fromDisk bool) {
+	if dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(s.path(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, false
+	}
+	defer zr.Close()
+	var a artifact
+	if err := gob.NewDecoder(zr).Decode(&a); err != nil {
+		return nil, false
+	}
+	if a.Format != diskFormat || a.Key != key || a.Dataset == nil {
+		return nil, false
+	}
+	return a.Dataset, true
+}
+
+// save writes the dataset atomically (temp file + rename) so a crashed or
+// concurrent writer never leaves a torn artifact behind. Failures are
+// silent: the disk cache is an accelerator, not a source of truth.
+func (s *Store) save(dir, key string, ds *trace.Dataset) {
+	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	zw := gzip.NewWriter(tmp)
+	err = gob.NewEncoder(zw).Encode(artifact{Format: diskFormat, Key: key, Dataset: ds})
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), s.path(dir, key))
+}
+
+// CacheFileName returns the file name a key is stored under — exposed so
+// tools can report or prune cache contents.
+func CacheFileName(key string) string {
+	return fmt.Sprintf("%s.dataset.gob.gz", key)
+}

@@ -1,0 +1,194 @@
+// Package encoding is the single implementation of PerSpectron's
+// normalize→binarize→score math. The paper's pipeline scales every counter
+// delta by the maximum matrix M (per execution point, falling back to the
+// corpus-wide maximum), sets the k-sparse bit when the scaled statistic
+// reaches 0.5, and sums perceptron weights over the fired bits with the
+// margin renormalized so that a partially observable sample (missing
+// counters, fault-masked values — the PR-1 degraded serving mode) degrades
+// gracefully instead of collapsing.
+//
+// Every layer that used to carry its own copy of this math — the trace
+// Encoder's training matrices, the Detector's per-sample scoring, and the
+// Classifier's one-vs-rest bank — now routes through this package, so the
+// three cannot drift apart again. Equivalence tests in the root package pin
+// the outputs to the pre-unification implementations bit for bit.
+package encoding
+
+import "math"
+
+// BinarizeThreshold is the paper's k-sparse firing cut: a feature's bit is
+// set when its scaled statistic reaches this value. Consumers inspecting
+// already-scaled matrices (feature selection, figure rendering) share the
+// constant rather than re-deriving it.
+const BinarizeThreshold = 0.5
+
+// GlobalOnly disables per-execution-point maxima process-wide: Max (and
+// everything built on it) then normalizes by the corpus-wide per-counter
+// maximum. Per-point maxima are phase-alignment sensitive; detectors meant
+// to generalize across unseen programs can prefer the global column.
+var GlobalOnly = false
+
+// Encoding holds the normalization maxima for a feature space: the paper's
+// matrix M. GlobalMax is indexed by feature; PerPoint, when present, is
+// indexed [execution point][feature] and takes precedence wherever its
+// entry is positive. A nil PerPoint (the Classifier's configuration)
+// normalizes by the global column only.
+type Encoding struct {
+	GlobalMax []float64
+	PerPoint  [][]float64
+}
+
+// New returns an empty encoding for nFeatures features.
+func New(nFeatures int) *Encoding {
+	return &Encoding{GlobalMax: make([]float64, nFeatures)}
+}
+
+// NumFeatures returns the feature-space width u.
+func (e *Encoding) NumFeatures() int { return len(e.GlobalMax) }
+
+// NumPoints returns the number of execution points s with recorded maxima.
+func (e *Encoding) NumPoints() int { return len(e.PerPoint) }
+
+// Observe folds one program run's sample sequence into the maxima: sample j
+// of the run updates point column j.
+func (e *Encoding) Observe(samples [][]float64) {
+	for j, vec := range samples {
+		if len(vec) != len(e.GlobalMax) {
+			panic("encoding: sample width mismatch in Observe")
+		}
+		for len(e.PerPoint) <= j {
+			e.PerPoint = append(e.PerPoint, make([]float64, len(e.GlobalMax)))
+		}
+		col := e.PerPoint[j]
+		for i, v := range vec {
+			if v > col[i] {
+				col[i] = v
+			}
+			if v > e.GlobalMax[i] {
+				e.GlobalMax[i] = v
+			}
+		}
+	}
+}
+
+// Max returns the normalizing maximum for feature i at execution point
+// point: the per-point maximum when one is recorded and positive, otherwise
+// the corpus-wide maximum. A result of 0 means the counter never fired
+// anywhere in training.
+func (e *Encoding) Max(i, point int) float64 {
+	if !GlobalOnly && point >= 0 && point < len(e.PerPoint) {
+		if v := e.PerPoint[point][i]; v > 0 {
+			return v
+		}
+	}
+	return e.GlobalMax[i]
+}
+
+// Scale normalizes sample vec taken at execution point point into [0,1] per
+// feature. Counters that never fired scale to 0. The result is written into
+// dst (pass nil to allocate).
+func (e *Encoding) Scale(vec []float64, point int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(vec))
+	}
+	for i, v := range vec {
+		mx := e.Max(i, point)
+		if mx <= 0 {
+			dst[i] = 0
+			continue
+		}
+		s := v / mx
+		if s > 1 {
+			s = 1
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// Binarize produces the paper's k-sparse 0/1 feature vector: bit t is 1 iff
+// the scaled statistic t is >= 0.5. The result is written into dst (pass
+// nil to allocate).
+func (e *Encoding) Binarize(vec []float64, point int, dst []float64) []float64 {
+	dst = e.Scale(vec, point, dst)
+	for i, s := range dst {
+		if s >= BinarizeThreshold {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// Bits computes the fired-bit set for a serving-path sample. indices maps
+// each feature slot to its raw counter index on the current machine; a
+// negative or out-of-range index marks a counter missing from the machine,
+// and non-finite raw values are the fault sentinel (see internal/faults) —
+// both are masked: the slot neither fires nor counts as observable. avail
+// is the number of observable slots, the numerator of the degraded-mode
+// coverage. The encoding is slot-indexed (GlobalMax[slot], not
+// GlobalMax[counter]). The result is written into dst (pass nil to
+// allocate; a short dst is reallocated).
+func (e *Encoding) Bits(raw []float64, indices []int, point int, dst []bool) (bits []bool, avail int) {
+	if len(dst) < len(indices) {
+		dst = make([]bool, len(indices))
+	}
+	dst = dst[:len(indices)]
+	for slot, j := range indices {
+		dst[slot] = false
+		if j < 0 || j >= len(raw) {
+			continue
+		}
+		v := raw[j]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		avail++
+		mx := e.Max(slot, point)
+		if mx <= 0 {
+			continue
+		}
+		if v/mx >= BinarizeThreshold {
+			dst[slot] = true
+		}
+	}
+	return dst, avail
+}
+
+// Margin returns the renormalized perceptron output over the fired bits:
+// (bias + Σ w_fired) / (|bias| + Σ |w_fired|), clamped to [-1, 1], or 0
+// when the denominator is zero. Because masked slots contribute to neither
+// sum, losing a random subset of counters shrinks numerator and denominator
+// together and the normalized confidence degrades gracefully instead of
+// collapsing (docs/FAULTS.md).
+func Margin(bias float64, w []float64, fired []bool) float64 {
+	s := bias
+	norm := math.Abs(bias)
+	for i, f := range fired {
+		if f {
+			s += w[i]
+			norm += math.Abs(w[i])
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	v := s / norm
+	if v > 1 {
+		v = 1
+	} else if v < -1 {
+		v = -1
+	}
+	return v
+}
+
+// Identity returns the identity slot→counter mapping of width n, for
+// serving paths that use the full counter space.
+func Identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObserveAndMax(t *testing.T) {
+	e := New(2)
+	e.Observe([][]float64{{4, 1}, {2, 8}})
+	e.Observe([][]float64{{6, 0}})
+
+	if e.NumFeatures() != 2 || e.NumPoints() != 2 {
+		t.Fatalf("shape = (%d, %d), want (2, 2)", e.NumFeatures(), e.NumPoints())
+	}
+	if e.GlobalMax[0] != 6 || e.GlobalMax[1] != 8 {
+		t.Fatalf("global maxima = %v", e.GlobalMax)
+	}
+	// Per-point maxima take precedence where positive…
+	if e.Max(0, 0) != 6 || e.Max(1, 1) != 8 {
+		t.Fatalf("per-point maxima: %v %v", e.Max(0, 0), e.Max(1, 1))
+	}
+	// …and fall back to global when zero, out of range, or point = -1.
+	if e.Max(1, 0) != 1 {
+		t.Fatalf("Max(1,0) = %v, want per-point 1", e.Max(1, 0))
+	}
+	e.PerPoint[0][1] = 0
+	if e.Max(1, 0) != 8 {
+		t.Fatalf("zero per-point did not fall back to global")
+	}
+	if e.Max(0, -1) != 6 || e.Max(0, 99) != 6 {
+		t.Fatalf("out-of-range point did not fall back to global")
+	}
+
+	GlobalOnly = true
+	defer func() { GlobalOnly = false }()
+	if e.Max(0, 0) != 6 {
+		t.Fatalf("GlobalOnly ignored the global column")
+	}
+}
+
+func TestObserveWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("width mismatch did not panic")
+		}
+	}()
+	New(2).Observe([][]float64{{1, 2, 3}})
+}
+
+func TestScaleAndBinarize(t *testing.T) {
+	e := New(3)
+	e.Observe([][]float64{{10, 4, 0}})
+
+	s := e.Scale([]float64{5, 8, 7}, 0, nil)
+	// v/M clamped to 1; a counter that never fired scales to 0.
+	if s[0] != 0.5 || s[1] != 1 || s[2] != 0 {
+		t.Fatalf("scaled = %v", s)
+	}
+	b := e.Binarize([]float64{5, 1, 7}, 0, nil)
+	if b[0] != 1 || b[1] != 0 || b[2] != 0 {
+		t.Fatalf("binarized = %v", b)
+	}
+	// The firing cut is exactly BinarizeThreshold, inclusive.
+	if bb := e.Binarize([]float64{10*BinarizeThreshold - 1e-9, 0, 0}, 0, nil); bb[0] != 0 {
+		t.Fatalf("fired just below the threshold")
+	}
+}
+
+func TestBitsMasking(t *testing.T) {
+	e := &Encoding{GlobalMax: []float64{10, 10, 10, 0}}
+	raw := []float64{9, math.NaN(), math.Inf(1), 3}
+	// Slots: healthy-firing, NaN, Inf, never-fired-max, unresolved, OOB.
+	bits, avail := e.Bits(raw, []int{0, 1, 2, 3, -1, 17}, -1, nil)
+	want := []bool{true, false, false, false, false, false}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+	// NaN/Inf/unresolved/OOB are unobservable; the zero-max slot IS
+	// observable (the counter was read, it just never fired in training).
+	if avail != 2 {
+		t.Fatalf("avail = %d, want 2", avail)
+	}
+	// dst reuse keeps the same backing array.
+	buf := make([]bool, 6)
+	out, _ := e.Bits(raw, []int{0, 1, 2, 3, -1, 17}, -1, buf)
+	if &out[0] != &buf[0] {
+		t.Fatalf("dst was reallocated despite sufficient capacity")
+	}
+}
+
+func TestMargin(t *testing.T) {
+	w := []float64{0.5, -0.25}
+	if m := Margin(0.25, w, []bool{true, true}); m != 0.5 {
+		t.Fatalf("margin = %v, want (0.25+0.5-0.25)/(0.25+0.5+0.25) = 0.5", m)
+	}
+	if m := Margin(0, w, []bool{false, false}); m != 0 {
+		t.Fatalf("zero-norm margin = %v, want 0", m)
+	}
+	if m := Margin(-1, nil, nil); m != -1 {
+		t.Fatalf("bias-only margin = %v, want -1", m)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	if len(id) != 3 || id[0] != 0 || id[2] != 2 {
+		t.Fatalf("identity = %v", id)
+	}
+}

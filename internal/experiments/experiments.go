@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"perspectron/internal/corpus"
 	"perspectron/internal/features"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
@@ -27,6 +28,30 @@ type Config struct {
 	MaxInsts uint64 // committed-path ops per program run
 	Runs     int    // runs per program
 	Interval uint64 // sampling granularity
+
+	// Store is the corpus store experiments collect through; nil means the
+	// process-wide corpus.Default(). Tests set a private store to count
+	// collections in isolation.
+	Store *corpus.Store
+}
+
+// store returns the artifact store this config collects through.
+func (c Config) store() *corpus.Store {
+	if c.Store != nil {
+		return c.Store
+	}
+	return corpus.Default()
+}
+
+// CollectConfig returns the trace-collection settings the config describes —
+// the corpus store's half of the cache fingerprint.
+func (c Config) CollectConfig() trace.CollectConfig {
+	return trace.CollectConfig{
+		MaxInsts: c.MaxInsts,
+		Interval: c.Interval,
+		Seed:     c.Seed,
+		Runs:     c.Runs,
+	}
 }
 
 // DefaultConfig is the full-scale setting used by cmd/experiments.
@@ -60,37 +85,31 @@ func CoreCorpus() []workload.Program {
 // likewise reports them as pre/post-leakage coverage, not accuracy.
 func BaseCorpus() []workload.Program { return CoreCorpus() }
 
+// collect fetches (progs, cfg)'s dataset through the artifact store: a
+// corpus any experiment in this process already collected — at any config —
+// is served from memory (or the on-disk cache) instead of re-simulated.
 func collect(progs []workload.Program, cfg Config) *trace.Dataset {
-	return trace.Collect(progs, trace.CollectConfig{
-		MaxInsts: cfg.MaxInsts,
-		Interval: cfg.Interval,
-		Seed:     cfg.Seed,
-		Runs:     cfg.Runs,
-	})
+	return cfg.store().Dataset(progs, cfg.CollectConfig())
 }
 
 // BaseDataset collects the base corpus at cfg's granularity.
 func BaseDataset(cfg Config) *trace.Dataset { return collect(BaseCorpus(), cfg) }
 
 // Prepared bundles a dataset with its encoder and PerSpectron selection —
-// the shared front half of most experiments.
-type Prepared struct {
-	DS  *trace.Dataset
-	Enc *trace.Encoder
-	Sel features.Selection
+// the shared front half of most experiments. It is the corpus store's
+// memoized artifact type: every experiment asking for the same (corpus,
+// config) receives the identical bundle.
+type Prepared = corpus.Prepared
+
+// Prepare returns the base dataset with its encoder and feature selection,
+// computed at most once per (corpus, config) via the artifact store.
+func Prepare(cfg Config) *Prepared {
+	return cfg.store().Prepared(BaseCorpus(), cfg.CollectConfig(), features.DefaultSelectConfig())
 }
 
-// Prepare collects the base dataset and runs feature selection on it.
-func Prepare(cfg Config) *Prepared { return prepare(BaseDataset(cfg)) }
-
 // PrepareCore is Prepare over the evasion-free core corpus.
-func PrepareCore(cfg Config) *Prepared { return prepare(collect(CoreCorpus(), cfg)) }
-
-func prepare(ds *trace.Dataset) *Prepared {
-	enc := trace.NewEncoder(ds)
-	X, y := enc.Matrix(ds)
-	sel := features.Select(X, y, ds.Components, features.DefaultSelectConfig())
-	return &Prepared{DS: ds, Enc: enc, Sel: sel}
+func PrepareCore(cfg Config) *Prepared {
+	return cfg.store().Prepared(CoreCorpus(), cfg.CollectConfig(), features.DefaultSelectConfig())
 }
 
 // table renders rows as fixed-width text with a header underline.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"perspectron/internal/encoding"
 	"perspectron/internal/sim"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
@@ -85,7 +86,7 @@ func Fig1(cfg Config) *Fig1Result {
 			}
 			row.Values = append(row.Values, n)
 			bit := 0
-			if n >= 0.5 {
+			if n >= encoding.BinarizeThreshold {
 				bit = 1
 			}
 			row.Bits = append(row.Bits, bit)

@@ -30,7 +30,7 @@ type Fig3Result struct {
 // trainPerSpectron trains the detector on the base corpus and returns a
 // scorer (shared by Fig3/Fig4).
 func trainPerSpectron(p *Prepared, threshold float64) *modelScorer {
-	enc := trace.NewEncoder(p.DS)
+	enc := p.Enc
 	X, y := enc.BinaryMatrix(p.DS)
 	Xp := trace.Project(X, p.Sel.Indices)
 	det := perceptron.New(len(p.Sel.Indices), perceptron.DefaultConfig())

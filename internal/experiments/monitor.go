@@ -59,9 +59,9 @@ type modelScorer struct {
 func (s *modelScorer) scoreSample(raw []float64, j int) float64 {
 	var vec []float64
 	if s.binary {
-		vec = s.enc.M.Binarize(raw, j, nil)
+		vec = s.enc.BinarizeAt(raw, j)
 	} else {
-		vec = s.enc.M.Scale(raw, j, nil)
+		vec = s.enc.ScaleAt(raw, j)
 	}
 	if s.idx != nil {
 		p := make([]float64, len(s.idx))

@@ -27,7 +27,7 @@ type MultiwayResult struct {
 // the training set.
 func Multiway(cfg Config) *MultiwayResult {
 	p := Prepare(cfg)
-	enc := trace.NewEncoder(p.DS)
+	enc := p.Enc
 
 	// Class label per sample: the attack category, or "benign".
 	labelOf := func(s *trace.Sample) string {

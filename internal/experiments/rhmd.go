@@ -34,7 +34,7 @@ type RHMDResult struct {
 // evasion study.
 func RHMD(cfg Config) *RHMDResult {
 	p := Prepare(cfg)
-	enc := trace.NewEncoder(p.DS)
+	enc := p.Enc
 	X, y := enc.BinaryMatrix(p.DS)
 	Xp := trace.Project(X, p.Sel.Indices)
 

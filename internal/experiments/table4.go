@@ -89,7 +89,7 @@ func Table4(cfg Config) *Table4Result {
 	}
 
 	// Full-corpus training encoder for the evasion assessment.
-	fullEnc := trace.NewEncoder(p.DS)
+	fullEnc := p.Enc
 
 	res := &Table4Result{}
 	for _, spec := range table4Grid() {

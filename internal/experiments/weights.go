@@ -30,7 +30,7 @@ type WeightsResult struct {
 // learned weights.
 func Weights(cfg Config) *WeightsResult {
 	p := Prepare(cfg)
-	enc := trace.NewEncoder(p.DS)
+	enc := p.Enc
 	X, y := enc.BinaryMatrix(p.DS)
 	Xp := trace.Project(X, p.Sel.Indices)
 	det := perceptron.New(len(p.Sel.Indices), perceptron.DefaultConfig())

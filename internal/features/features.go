@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"perspectron/internal/encoding"
 	"perspectron/internal/stats"
 )
 
@@ -115,7 +116,7 @@ func MutualInformation(X [][]float64, y []float64) []float64 {
 	for j := 0; j < f; j++ {
 		var c11, c10, c01, c00 float64
 		for i, row := range X {
-			x1 := row[j] >= 0.5
+			x1 := row[j] >= encoding.BinarizeThreshold
 			y1 := y[i] > 0
 			switch {
 			case x1 && y1:

@@ -102,10 +102,43 @@ type sampleHook = func(index int, delta []float64)
 
 // Run executes the stream for up to maxInsts committed-path instructions,
 // sampling all counters every sampleInterval committed instructions. It
-// returns the per-interval counter delta vectors.
+// returns the per-interval counter delta vectors. Run is the batch view of
+// RunStream: it drains the sample stream into a slice.
 func (m *Machine) Run(stream isa.Stream, maxInsts, sampleInterval uint64) [][]float64 {
+	var out [][]float64
+	m.RunStream(stream, maxInsts, sampleInterval, func(_ int, v []float64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// cutoffStream ends the wrapped op stream once *stop is set, so a streaming
+// consumer that is done listening can halt the pipeline mid-run.
+type cutoffStream struct {
+	inner isa.Stream
+	stop  *bool
+}
+
+func (c *cutoffStream) Next() (isa.Op, bool) {
+	if *c.stop {
+		return isa.Op{}, false
+	}
+	return c.inner.Next()
+}
+
+// RunStream executes like Run but delivers each sampled counter-delta
+// vector to fn as soon as its interval completes, instead of accumulating
+// them — the per-sample code path shared by batch trace collection and
+// online monitoring. fn returning false cuts the run off at the next
+// instruction fetch. The trailing partial interval (at least half a sample
+// long, as in Run) is delivered after the pipeline drains. SampleFilter and
+// OnSample observe every vector before fn does. It returns the number of
+// samples delivered.
+func (m *Machine) RunStream(stream isa.Stream, maxInsts, sampleInterval uint64, fn func(index int, delta []float64) bool) int {
 	sampler := stats.NewSampler(m.Reg, sampleInterval)
 	idx := 0
+	stop := false
 	m.Pipe.OnCommit = func(n uint64) {
 		fired := sampler.Tick(n)
 		for i := 0; i < fired; i++ {
@@ -117,19 +150,29 @@ func (m *Machine) Run(stream isa.Stream, maxInsts, sampleInterval uint64) [][]fl
 			if m.OnSample != nil {
 				m.OnSample(idx, v)
 			}
+			if !stop && !fn(idx, v) {
+				stop = true
+			}
 			idx++
 		}
 	}
-	m.Pipe.Run(stream, maxInsts)
+	m.Pipe.Run(&cutoffStream{inner: stream, stop: &stop}, maxInsts)
 	m.DRAM.FinishAt(m.Pipe.Cycle())
 	before := len(sampler.Samples())
 	sampler.Flush(sampleInterval / 2)
-	if all := sampler.Samples(); m.SampleFilter != nil && len(all) > before {
+	if all := sampler.Samples(); len(all) > before {
 		// The trailing partial sample is emitted outside OnCommit; faults
-		// must still apply to it.
-		m.SampleFilter(idx, all[len(all)-1])
+		// must still apply to it before a listening consumer sees it.
+		v := all[len(all)-1]
+		if m.SampleFilter != nil {
+			m.SampleFilter(idx, v)
+		}
+		if !stop {
+			fn(idx, v)
+		}
+		idx++
 	}
-	return sampler.Samples()
+	return idx
 }
 
 // EnableFencing toggles the context-sensitive-fencing mitigation (§IV-G1):

@@ -1,109 +1,62 @@
 package stats
 
+import "perspectron/internal/encoding"
+
 // MaxMatrix is the paper's matrix M: u rows (one per counter) by s columns
 // (one per sampling point within a program's execution). M[i][j] is the
 // maximum value observed for counter i at execution point j across the
 // training corpus. Scaled statistic t = value / M[t][j]; the k-sparse binary
 // feature is 1 when the scaled statistic is >= 0.5.
+//
+// MaxMatrix is the training-side accumulator view; the normalize/binarize
+// math itself lives in internal/encoding (the single implementation shared
+// with the Detector and Classifier serving paths) and is reached through
+// the Encoding accessor.
 type MaxMatrix struct {
-	perPoint  [][]float64 // [point][counter]
-	globalMax []float64   // [counter] fallback for unseen points
-	nCounters int
+	enc *encoding.Encoding
 }
 
 // NewMaxMatrix creates an empty matrix for nCounters counters.
 func NewMaxMatrix(nCounters int) *MaxMatrix {
-	return &MaxMatrix{
-		globalMax: make([]float64, nCounters),
-		nCounters: nCounters,
-	}
+	return &MaxMatrix{enc: encoding.New(nCounters)}
 }
 
+// Encoding exposes the accumulated maxima as the shared encoding type the
+// serving paths consume. The returned value aliases the matrix: further
+// Observe calls are visible through it.
+func (m *MaxMatrix) Encoding() *encoding.Encoding { return m.enc }
+
 // NumCounters returns the row count u.
-func (m *MaxMatrix) NumCounters() int { return m.nCounters }
+func (m *MaxMatrix) NumCounters() int { return m.enc.NumFeatures() }
 
 // NumPoints returns the number of execution points s with recorded maxima.
-func (m *MaxMatrix) NumPoints() int { return len(m.perPoint) }
+func (m *MaxMatrix) NumPoints() int { return m.enc.NumPoints() }
 
 // Observe folds one program's sample sequence into the matrix: sample j of
 // the program updates column j.
-func (m *MaxMatrix) Observe(samples [][]float64) {
-	for j, vec := range samples {
-		if len(vec) != m.nCounters {
-			panic("stats: sample width mismatch in MaxMatrix.Observe")
-		}
-		for len(m.perPoint) <= j {
-			m.perPoint = append(m.perPoint, make([]float64, m.nCounters))
-		}
-		col := m.perPoint[j]
-		for i, v := range vec {
-			if v > col[i] {
-				col[i] = v
-			}
-			if v > m.globalMax[i] {
-				m.globalMax[i] = v
-			}
-		}
-	}
-}
-
-// GlobalOnly disables per-execution-point maxima: Scale and Binarize then
-// normalize by the corpus-wide per-counter maximum. Per-point maxima are
-// phase-alignment sensitive; detectors meant to generalize across unseen
-// programs can prefer the global column.
-var GlobalOnly = false
+func (m *MaxMatrix) Observe(samples [][]float64) { m.enc.Observe(samples) }
 
 // Max returns the normalizing maximum for counter i at execution point j,
 // falling back to the counter's global maximum when j is beyond any observed
 // point or the per-point maximum is zero. A result of 0 means the counter
 // never fired anywhere.
-func (m *MaxMatrix) Max(i, j int) float64 {
-	if !GlobalOnly && j >= 0 && j < len(m.perPoint) {
-		if v := m.perPoint[j][i]; v > 0 {
-			return v
-		}
-	}
-	return m.globalMax[i]
-}
+func (m *MaxMatrix) Max(i, j int) float64 { return m.enc.Max(i, j) }
 
 // GlobalMax returns the corpus-wide maximum for counter i.
-func (m *MaxMatrix) GlobalMax(i int) float64 { return m.globalMax[i] }
+func (m *MaxMatrix) GlobalMax(i int) float64 { return m.enc.GlobalMax[i] }
 
 // Scale normalizes sample vec taken at execution point j into [0,1] per
 // counter. Counters that never fired scale to 0. The result is written into
 // dst (pass nil to allocate).
 func (m *MaxMatrix) Scale(vec []float64, j int, dst []float64) []float64 {
-	if dst == nil {
-		dst = make([]float64, len(vec))
-	}
-	for i, v := range vec {
-		mx := m.Max(i, j)
-		if mx <= 0 {
-			dst[i] = 0
-			continue
-		}
-		s := v / mx
-		if s > 1 {
-			s = 1
-		}
-		dst[i] = s
-	}
-	return dst
+	return m.enc.Scale(vec, j, dst)
 }
 
 // Binarize produces the paper's k-sparse 0/1 feature vector: bit t is 1 iff
 // the scaled statistic t is >= 0.5. The result is written into dst (pass nil
 // to allocate).
 func (m *MaxMatrix) Binarize(vec []float64, j int, dst []float64) []float64 {
-	dst = m.Scale(vec, j, dst)
-	for i, s := range dst {
-		if s >= 0.5 {
-			dst[i] = 1
-		} else {
-			dst[i] = 0
-		}
-	}
-	return dst
+	return m.enc.Binarize(vec, j, dst)
 }
 
 // Sparsity returns the fraction of 1 bits in a binarized vector; exposed for

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"perspectron/internal/isa"
+	"perspectron/internal/sim"
+	"perspectron/internal/workload"
+)
+
+// SampleSource streams labelled samples one sampling interval at a time.
+// Batch collection drains a source into a Dataset; the online Monitor
+// scores each sample as it arrives. Next returns false when the run is
+// exhausted (or the source was closed); Close releases the source early.
+type SampleSource interface {
+	Next() (*Sample, bool)
+	Close()
+}
+
+// RunSource streams one program run on a simulated machine — the shared
+// per-sample producer behind Collect and Detector.Monitor. The workload
+// stream, machine run loop, fault filters and sample labelling all live
+// here, so the batch and online paths cannot diverge.
+type RunSource struct {
+	ch        chan *Sample
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	stream isa.Stream // underlying workload stream, for LeakMarks
+	err    error      // workload panic converted to an error
+	n      int
+}
+
+// NewRunSource starts streaming prog for up to cfg.MaxInsts committed
+// instructions on machine m, sampling every cfg.Interval. The machine must
+// be fully configured (detectors resolved, fault schedules attached) before
+// the call; it is driven from a background goroutine until the source is
+// drained or closed. run tags the produced samples' Run field; seed drives
+// the workload's data-dependent behaviour. A cfg.Timeout or cancellable ctx
+// bounds the run's wall clock as in Collect. A panicking workload ends the
+// stream early and surfaces through Err.
+func NewRunSource(ctx context.Context, m *sim.Machine, prog workload.Program, run int, seed int64, cfg CollectConfig) *RunSource {
+	src := &RunSource{
+		ch:   make(chan *Sample),
+		done: make(chan struct{}),
+	}
+	info := prog.Info()
+	go func() {
+		defer close(src.ch)
+		defer func() {
+			if r := recover(); r != nil {
+				src.mu.Lock()
+				src.err = fmt.Errorf("run panicked: %v", r)
+				src.mu.Unlock()
+			}
+		}()
+		var stream isa.Stream = prog.Stream(rand.New(rand.NewSource(seed)))
+		src.mu.Lock()
+		src.stream = stream
+		src.mu.Unlock()
+		if cfg.Timeout > 0 || ctx.Done() != nil {
+			stream = boundStream(ctx, stream, cfg.Timeout)
+		}
+		m.RunStream(stream, cfg.MaxInsts, cfg.Interval, func(idx int, v []float64) bool {
+			s := &Sample{
+				Program:  info.Name,
+				Category: info.Category,
+				Channel:  info.Channel,
+				Label:    info.Label,
+				Run:      run,
+				Index:    idx,
+				Raw:      v,
+			}
+			select {
+			case src.ch <- s:
+				return true
+			case <-src.done:
+				return false
+			}
+		})
+	}()
+	return src
+}
+
+// Next returns the next sample in execution order, or false when the run
+// has ended. After false, Err and LeakMarks are valid.
+func (s *RunSource) Next() (*Sample, bool) {
+	smp, ok := <-s.ch
+	if ok {
+		s.n++
+	}
+	return smp, ok
+}
+
+// Close stops the underlying run at its next instruction fetch and releases
+// the producer goroutine. Safe to call more than once and concurrently with
+// Next.
+func (s *RunSource) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	for range s.ch { // drain whatever was in flight
+	}
+}
+
+// Count returns the number of samples delivered through Next so far.
+func (s *RunSource) Count() int { return s.n }
+
+// Err reports a workload panic that ended the stream. Valid once Next has
+// returned false (or Close returned).
+func (s *RunSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// LeakMarks returns the committed-instruction marks at which the workload's
+// disclosures completed, when the workload exposes them (attack loops do).
+// Valid once Next has returned false (or Close returned).
+func (s *RunSource) LeakMarks() []uint64 {
+	s.mu.Lock()
+	stream := s.stream
+	s.mu.Unlock()
+	if ls, ok := stream.(*workload.LoopStream); ok {
+		return ls.LeakMarks()
+	}
+	return nil
+}
+
+// Drain consumes the rest of the source into a slice, in order.
+func Drain(src SampleSource) []Sample {
+	var out []Sample
+	for {
+		s, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, *s)
+	}
+}

@@ -8,11 +8,11 @@ package trace
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"perspectron/internal/encoding"
 	"perspectron/internal/isa"
 	"perspectron/internal/sim"
 	"perspectron/internal/stats"
@@ -198,32 +198,16 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 	return ds
 }
 
-// collectOne executes a single program run, converting workload panics into
-// errors and bounding wall-clock time via the config timeout / context.
-func collectOne(ctx context.Context, prog workload.Program, run int, seed int64, cfg CollectConfig) (out []Sample, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			out, err = nil, fmt.Errorf("run panicked: %v", r)
-		}
-	}()
-	info := prog.Info()
-	var stream isa.Stream = prog.Stream(rand.New(rand.NewSource(seed)))
-	if cfg.Timeout > 0 || ctx.Done() != nil {
-		stream = boundStream(ctx, stream, cfg.Timeout)
-	}
+// collectOne executes a single program run by draining its sample stream —
+// the same per-sample path the online Monitor scores — converting workload
+// panics into errors and bounding wall-clock time via the config timeout /
+// context.
+func collectOne(ctx context.Context, prog workload.Program, run int, seed int64, cfg CollectConfig) ([]Sample, error) {
 	m := sim.NewMachine(sim.DefaultConfig())
-	vecs := m.Run(stream, cfg.MaxInsts, cfg.Interval)
-	out = make([]Sample, len(vecs))
-	for i, v := range vecs {
-		out[i] = Sample{
-			Program:  info.Name,
-			Category: info.Category,
-			Channel:  info.Channel,
-			Label:    info.Label,
-			Run:      run,
-			Index:    i,
-			Raw:      v,
-		}
+	src := NewRunSource(ctx, m, prog, run, seed, cfg)
+	out := Drain(src)
+	if err := src.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -299,6 +283,10 @@ func NewEncoder(train *Dataset) *Encoder {
 	return &Encoder{M: m}
 }
 
+// Enc exposes the encoder's maxima as the shared encoding type — the
+// single normalize/binarize implementation the serving paths also use.
+func (e *Encoder) Enc() *encoding.Encoding { return e.M.Encoding() }
+
 // Scale returns the sample scaled to [0,1] per feature.
 func (e *Encoder) Scale(s *Sample) []float64 {
 	return e.M.Scale(s.Raw, s.Index, nil)
@@ -307,6 +295,18 @@ func (e *Encoder) Scale(s *Sample) []float64 {
 // Binarize returns the k-sparse 0/1 vector for the sample.
 func (e *Encoder) Binarize(s *Sample) []float64 {
 	return e.M.Binarize(s.Raw, s.Index, nil)
+}
+
+// ScaleAt normalizes one raw counter-delta vector taken at execution point
+// j — the serving-path entry used when the raw vector does not come from a
+// Dataset sample.
+func (e *Encoder) ScaleAt(raw []float64, j int) []float64 {
+	return e.M.Scale(raw, j, nil)
+}
+
+// BinarizeAt is ScaleAt followed by the 0.5 binarization.
+func (e *Encoder) BinarizeAt(raw []float64, j int) []float64 {
+	return e.M.Binarize(raw, j, nil)
 }
 
 // Matrix encodes the whole dataset: X is scaled features (rows in dataset

@@ -15,12 +15,14 @@
 package perspectron
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 
+	"perspectron/internal/corpus"
+	"perspectron/internal/encoding"
 	"perspectron/internal/faults"
 	"perspectron/internal/features"
 	"perspectron/internal/perceptron"
@@ -30,6 +32,12 @@ import (
 	"perspectron/internal/workload/attacks"
 	"perspectron/internal/workload/benign"
 )
+
+// SetCacheDir enables the on-disk corpus cache for the process-wide
+// artifact store: trained-on datasets are persisted under dir and reused
+// across invocations (deterministic seeding makes cached and fresh
+// collections byte-identical). An empty dir disables the disk cache.
+func SetCacheDir(dir string) error { return corpus.Default().SetCacheDir(dir) }
 
 // Workload is a runnable program (attack or benign kernel).
 type Workload = workload.Program
@@ -147,30 +155,44 @@ type Detector struct {
 	indices []int // resolved counter indices on the current machine
 }
 
-// Train collects traces from the given workloads on the simulated machine,
-// runs the paper's feature-selection algorithm, trains the perceptron on
+// CollectConfig returns the trace-collection configuration the options
+// describe — the corpus store's half of the cache fingerprint.
+func (o Options) CollectConfig() trace.CollectConfig {
+	return trace.CollectConfig{
+		MaxInsts: o.MaxInsts,
+		Interval: o.Interval,
+		Seed:     o.Seed,
+		Runs:     o.Runs,
+	}
+}
+
+// selectConfig returns the feature-selection configuration the options
+// describe.
+func (o Options) selectConfig() features.SelectConfig {
+	cfg := features.DefaultSelectConfig()
+	if o.MaxFeatures > 0 {
+		cfg.MaxFeatures = o.MaxFeatures
+	}
+	return cfg
+}
+
+// Train collects traces from the given workloads on the simulated machine
+// (through the process-wide corpus store, so a corpus already collected
+// this invocation — or cached on disk via SetCacheDir — is reused), runs
+// the paper's feature-selection algorithm, trains the perceptron on
 // k-sparse binary features, and returns the packaged detector.
 func Train(workloads []Workload, opts Options) (*Detector, error) {
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("perspectron: no training workloads")
 	}
-	ds := trace.Collect(workloads, trace.CollectConfig{
-		MaxInsts: opts.MaxInsts,
-		Interval: opts.Interval,
-		Seed:     opts.Seed,
-		Runs:     opts.Runs,
-	})
+	store := corpus.Default()
+	ds := store.Dataset(workloads, opts.CollectConfig())
 	b, m := ds.ClassCounts()
 	if b == 0 || m == 0 {
 		return nil, fmt.Errorf("perspectron: training corpus needs both classes (benign=%d malicious=%d)", b, m)
 	}
-	enc := trace.NewEncoder(ds)
-	X, y := enc.Matrix(ds)
-	selCfg := features.DefaultSelectConfig()
-	if opts.MaxFeatures > 0 {
-		selCfg.MaxFeatures = opts.MaxFeatures
-	}
-	sel := features.Select(X, y, ds.Components, selCfg)
+	p := store.Prepared(workloads, opts.CollectConfig(), opts.selectConfig())
+	enc, sel := p.Enc, p.Sel
 	if len(sel.Indices) == 0 {
 		return nil, fmt.Errorf("perspectron: feature selection found no informative features")
 	}
@@ -180,13 +202,13 @@ func Train(workloads []Workload, opts Options) (*Detector, error) {
 	pcfg := perceptron.DefaultConfig()
 	pcfg.Threshold = opts.Threshold
 	pcfg.Seed = opts.Seed
-	p := perceptron.New(len(sel.Indices), pcfg)
-	p.Fit(Xp, yb)
+	perc := perceptron.New(len(sel.Indices), pcfg)
+	perc.Fit(Xp, yb)
 
 	d := &Detector{
 		FeatureNames: make([]string, len(sel.Indices)),
-		Weights:      p.W,
-		Bias:         p.Bias,
+		Weights:      perc.W,
+		Bias:         perc.Bias,
 		Threshold:    opts.Threshold,
 		Interval:     opts.Interval,
 		GlobalMax:    make([]float64, len(sel.Indices)),
@@ -251,54 +273,23 @@ func (d *Detector) resolve(m *sim.Machine) (int, error) {
 	return resolved, nil
 }
 
-// scoreSample binarizes one raw counter-delta vector and returns the
-// normalized perceptron output plus the number of features that were
-// observable (resolved counter, finite value). Unresolved or fault-masked
-// (NaN/Inf) inputs are skipped and the margin is renormalized over the
-// surviving weights: the score is s/(|bias|+Σ|w_fired|) over firing features
-// only, so losing a random subset shrinks numerator and denominator together
-// and the normalized confidence degrades gracefully instead of collapsing.
-func (d *Detector) scoreSample(raw []float64, point int) (score float64, avail int) {
-	s := d.Bias
-	norm := abs(d.Bias)
-	for i, j := range d.indices {
-		if j < 0 || j >= len(raw) {
-			continue
-		}
-		v := raw[j]
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			continue
-		}
-		avail++
-		mx := d.GlobalMax[i]
-		if point >= 0 && point < len(d.PointMax) && d.PointMax[point][i] > 0 {
-			mx = d.PointMax[point][i]
-		}
-		if mx <= 0 {
-			continue
-		}
-		if v/mx >= 0.5 {
-			s += d.Weights[i]
-			norm += abs(d.Weights[i])
-		}
-	}
-	if norm == 0 {
-		return 0, avail
-	}
-	v := s / norm
-	if v > 1 {
-		v = 1
-	} else if v < -1 {
-		v = -1
-	}
-	return v, avail
+// encoding returns the detector's slot-indexed view of the shared
+// normalize/binarize implementation, built over the embedded maxima.
+func (d *Detector) encoding() *encoding.Encoding {
+	return &encoding.Encoding{GlobalMax: d.GlobalMax, PerPoint: d.PointMax}
 }
 
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
+// scoreSample binarizes one raw counter-delta vector through the shared
+// encoding and returns the normalized perceptron output plus the number of
+// features that were observable (resolved counter, finite value).
+// Unresolved or fault-masked (NaN/Inf) inputs are skipped and the margin is
+// renormalized over the surviving weights: the score is
+// s/(|bias|+Σ|w_fired|) over firing features only, so losing a random
+// subset shrinks numerator and denominator together and the normalized
+// confidence degrades gracefully instead of collapsing.
+func (d *Detector) scoreSample(raw []float64, point int) (score float64, avail int) {
+	bits, avail := d.encoding().Bits(raw, d.indices, point, nil)
+	return encoding.Margin(d.Bias, d.Weights, bits), avail
 }
 
 // SamplePoint is one sampling interval's verdict.
@@ -428,9 +419,6 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 			return nil, err
 		}
 	}
-	stream := w.Stream(rand.New(rand.NewSource(seed)))
-	vecs := m.Run(stream, maxInsts, d.Interval)
-
 	info := w.Info()
 	rep := &Report{
 		Workload:  info.Name,
@@ -439,35 +427,46 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 	}
 	nf := len(d.FeatureNames)
 	coverageSum := 0.0
-	for i, raw := range vecs {
-		score, avail := d.scoreSample(raw, i)
+
+	// Stream the run through the same SampleSource batch collection drains,
+	// scoring each sampling interval as it arrives — the online serving path
+	// shares the per-sample machinery with Collect by construction.
+	src := trace.NewRunSource(context.Background(), m, w, 0, seed,
+		trace.CollectConfig{MaxInsts: maxInsts, Interval: d.Interval})
+	for {
+		s, ok := src.Next()
+		if !ok {
+			break
+		}
+		score, avail := d.scoreSample(s.Raw, s.Index)
 		if nf > 0 {
 			coverageSum += float64(avail) / float64(nf)
 		}
 		flagged := score >= d.Threshold
 		rep.Samples = append(rep.Samples, SamplePoint{
-			Index:   i,
-			Insts:   uint64(i+1) * d.Interval,
+			Index:   s.Index,
+			Insts:   uint64(s.Index+1) * d.Interval,
 			Score:   score,
 			Flagged: flagged,
 		})
 		if flagged && rep.FirstFlag < 0 {
-			rep.FirstFlag = i
+			rep.FirstFlag = s.Index
 			rep.Detected = true
 		}
 	}
-	if len(vecs) > 0 && nf > 0 {
-		rep.Coverage = coverageSum / float64(len(vecs))
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("perspectron: monitoring %s: %w", info.Name, err)
+	}
+	if len(rep.Samples) > 0 && nf > 0 {
+		rep.Coverage = coverageSum / float64(len(rep.Samples))
 	} else if nf > 0 {
 		rep.Coverage = float64(resolved) / float64(nf)
 	} else {
 		rep.Coverage = 1
 	}
 	rep.Degraded = rep.Coverage < 1-1e-12
-	if ls, ok := stream.(*workload.LoopStream); ok {
-		for _, mark := range ls.LeakMarks() {
-			rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
-		}
+	for _, mark := range src.LeakMarks() {
+		rep.LeakSamples = append(rep.LeakSamples, int(mark/d.Interval))
 	}
 	if len(rep.LeakSamples) > 0 {
 		rep.LeakBefore = rep.FirstFlag < 0 || rep.LeakSamples[0] < rep.FirstFlag
