@@ -1,4 +1,9 @@
 GO ?= go
+# BENCHTIME bounds each benchmark's measurement time; 1x runs one iteration,
+# which is enough for the JSON artifact and keeps `make bench` CI-friendly.
+BENCHTIME ?= 1x
+# BENCH filters which benchmarks run (a go test -bench regexp).
+BENCH ?= .
 
 .PHONY: ci vet build test race bench
 
@@ -19,5 +24,9 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./...
 
+# bench runs the root-package benchmarks plus the telemetry micro-benchmarks
+# with -benchmem, tees the text log to bench.out, and converts it into the
+# machine-readable BENCH_telemetry.json artifact.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/telemetry | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json

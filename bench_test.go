@@ -20,6 +20,7 @@ import (
 	"perspectron/internal/perceptron"
 	"perspectron/internal/sim"
 	"perspectron/internal/stats"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload/attacks"
 	"perspectron/internal/workload/benign"
@@ -227,6 +228,43 @@ func BenchmarkEndToEndMonitor(b *testing.B) {
 			b.Fatal("missed")
 		}
 	}
+}
+
+// BenchmarkMonitorTelemetryOverhead pins the nil-registry fast path on the
+// online serving loop: Detector.Monitor with telemetry disabled must run at
+// its uninstrumented cost (the acceptance bound is ≤2% vs the seed), and the
+// enabled sub-benchmark quantifies what full instrumentation adds.
+func BenchmarkMonitorTelemetryOverhead(b *testing.B) {
+	telemetry.Disable()
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = 100_000
+	opts.Runs = 1
+	det, err := perspectron.Train(perspectron.TrainingWorkloads(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attack := perspectron.AttackByName("flush+reload", "")
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := det.Monitor(attack, 50_000, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Detected {
+				b.Fatal("missed")
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		telemetry.Disable()
+		run(b)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		run(b)
+	})
 }
 
 // ---- ablation benchmarks (design choices from DESIGN.md §5) -----------------

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"perspectron/internal/corpus"
 	"perspectron/internal/encoding"
 	"perspectron/internal/perceptron"
 	"perspectron/internal/sim"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 )
@@ -191,12 +193,32 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 	nf := len(c.FeatureNames)
 	coverageSum := 0.0
 	samples := 0
+
+	// Instruments are fetched once before the vote loop — the nil handles of
+	// the disabled path keep per-sample cost at a pointer check each.
+	reg := telemetry.Get()
+	enabled := reg != nil
+	var (
+		scoreHist   *telemetry.Histogram
+		latencyHist *telemetry.Histogram
+	)
+	if enabled {
+		scoreHist = reg.Histogram("perspectron_classify_score", telemetry.ScoreBuckets)
+		latencyHist = reg.Histogram("perspectron_classify_sample_seconds", telemetry.LatencyBuckets)
+	}
+	sampleCtr := reg.Counter("perspectron_classify_samples_total")
+	_, span := reg.StartSpan(context.Background(), "classify")
+
 	src := trace.NewRunSource(context.Background(), m, w, 0, seed,
 		trace.CollectConfig{MaxInsts: maxInsts, Interval: c.Interval})
 	for {
 		s, ok := src.Next()
 		if !ok {
 			break
+		}
+		var start time.Time
+		if enabled {
+			start = time.Now()
 		}
 		scores, avail := c.classScores(s.Raw)
 		if nf > 0 {
@@ -208,9 +230,15 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 				best = i
 			}
 		}
+		if enabled {
+			latencyHist.Observe(time.Since(start).Seconds())
+			scoreHist.Observe(scores[best])
+		}
+		sampleCtr.Inc()
 		res.Votes[c.Classes[best]]++
 		samples++
 	}
+	span.End()
 	if err := src.Err(); err != nil {
 		return nil, fmt.Errorf("perspectron: classifying %s: %w", res.Workload, err)
 	}
@@ -229,6 +257,13 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 		res.Coverage = 1
 	}
 	res.Degraded = res.Coverage < 1-1e-12
+	if enabled {
+		reg.Gauge("perspectron_classify_coverage").Set(res.Coverage)
+		for class, n := range res.Votes {
+			reg.Counter(telemetry.Name("perspectron_classify_votes_total", "class", class)).
+				Add(uint64(n))
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, so benchmark runs (e.g. `make bench`) leave a machine-readable
+// artifact next to the console log.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -out BENCH.json
+//	benchjson -in bench.out -out BENCH.json
+//
+// Each benchmark result line
+//
+//	BenchmarkName-8   100   123 ns/op   45 B/op   6 allocs/op   0.99 accuracy
+//
+// becomes one entry with the iteration count and every unit-tagged metric.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark text input file (- for stdin)")
+	out := flag.String("out", "-", "JSON output file (- for stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output: header key: value lines and
+// Benchmark... result lines; everything else (test logs, PASS/ok) is skipped.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			if rep.Pkg == "" {
+				rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			}
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line into a Result; ok is false for lines that
+// merely start with "Benchmark" but are not results.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = procs
+			res.Name = res.Name[:i]
+		}
+	}
+	// Remaining fields are value/unit pairs: "123 ns/op", "0.99 accuracy".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, true
+}

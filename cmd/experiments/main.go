@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,8 @@ import (
 
 	"perspectron/internal/corpus"
 	"perspectron/internal/experiments"
+	"perspectron/internal/telemetry"
+	"perspectron/internal/telemetry/telemetrycli"
 )
 
 type renderer interface{ Render() string }
@@ -37,7 +40,14 @@ func main() {
 	insts := flag.Uint64("insts", 0, "override committed instructions per program run")
 	runs := flag.Int("runs", 0, "override independent runs per program")
 	cacheDir := flag.String("cachedir", "", "on-disk corpus cache directory (reuses collected datasets across invocations)")
+	tel := telemetrycli.Register(flag.CommandLine)
 	flag.Parse()
+	stop, err := tel.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -112,14 +122,23 @@ func main() {
 	}
 
 	before := corpus.Default().Stats()
+	ctx, rootSpan := telemetry.StartSpan(context.Background(), "experiments")
 	for _, e := range all {
 		if !runAll && !want[e.name] {
 			continue
 		}
 		start := time.Now()
 		fmt.Printf("==== %s ====\n\n", e.name)
+		_, span := telemetry.Get().StartSpan(ctx, e.name)
 		fmt.Println(e.fn().Render())
+		span.End()
 		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("[corpus cache: %s]\n", corpus.Default().Stats().Sub(before))
+	rootSpan.End()
+	delta := corpus.Default().Stats().Sub(before)
+	fmt.Printf("[corpus cache: %s]\n", delta)
+	if delta.RunsDropped > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d collection runs were dropped; results cover the surviving runs\n",
+			delta.RunsDropped)
+	}
 }

@@ -25,6 +25,8 @@ import (
 	"strings"
 
 	"perspectron"
+	"perspectron/internal/corpus"
+	"perspectron/internal/telemetry/telemetrycli"
 )
 
 func main() {
@@ -67,7 +69,13 @@ func cmdTrain(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	interval := fs.Uint64("interval", 10_000, "sampling granularity")
 	cacheDir := fs.String("cachedir", "", "on-disk corpus cache directory (reuses collected datasets across invocations)")
+	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 
 	opts := perspectron.DefaultOptions()
 	opts.MaxInsts = *insts
@@ -81,9 +89,20 @@ func cmdTrain(args []string) {
 	}
 
 	fmt.Fprintln(os.Stderr, "training on the full workload corpus...")
-	det, err := perspectron.Train(perspectron.TrainingWorkloads(), opts)
+	workloads := perspectron.TrainingWorkloads()
+	det, err := perspectron.Train(workloads, opts)
 	if err != nil {
 		fatal(err)
+	}
+	// Re-fetch the training dataset (a free memory hit on the corpus store)
+	// to surface collection health: runs the fault shield retried or dropped.
+	ds := corpus.Default().Dataset(workloads, opts.CollectConfig())
+	if ds.Retried > 0 || len(ds.Dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "collection: %d runs retried, %d dropped\n",
+			ds.Retried, len(ds.Dropped))
+		for _, d := range ds.Dropped {
+			fmt.Fprintf(os.Stderr, "  dropped %s\n", d)
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -130,7 +149,13 @@ func cmdDetect(args []string) {
 	jitter := fs.Float64("jitter", 0, "sampling-interval jitter fraction")
 	blackout := fs.String("blackout", "", "black out one component: comp[:from[:to]] (e.g. dcache:2:5)")
 	faultSeed := fs.Int64("faultseed", 1, "fault-schedule seed")
+	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 	if *name == "" && *poly < 0 {
 		fmt.Fprintln(os.Stderr, "detect: -workload required (or -poly)")
 		os.Exit(2)
@@ -185,7 +210,6 @@ func cmdDetect(args []string) {
 	}
 
 	var rep *perspectron.Report
-	var err error
 	if faulty {
 		rep, err = det.MonitorFaulty(w, *insts, *seed, fc)
 	} else {
@@ -249,7 +273,13 @@ func cmdClassifyTrain(args []string) {
 	runs := fs.Int("runs", 2, "runs per workload")
 	seed := fs.Int64("seed", 1, "random seed")
 	cacheDir := fs.String("cachedir", "", "on-disk corpus cache directory (shared with `perspectron train`)")
+	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 
 	opts := perspectron.DefaultOptions()
 	opts.MaxInsts = *insts
@@ -284,7 +314,13 @@ func cmdClassify(args []string) {
 	channel := fs.String("channel", "fr", "disclosure channel for attacks")
 	insts := fs.Uint64("insts", 100_000, "instructions to observe")
 	seed := fs.Int64("seed", 42, "workload seed")
+	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "classify: -workload required")
 		os.Exit(2)

@@ -16,6 +16,7 @@ import (
 
 	"perspectron/internal/corpus"
 	"perspectron/internal/sim"
+	"perspectron/internal/telemetry/telemetrycli"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
@@ -31,7 +32,14 @@ func main() {
 	which := flag.String("workloads", "all", "workload set: all, attacks, benign")
 	statsFor := flag.String("stats", "", "instead of CSV traces, run this one workload and dump a gem5-style stats.txt to stdout")
 	cacheDir := flag.String("cachedir", "", "on-disk corpus cache directory shared with the other tools")
+	tel := telemetrycli.Register(flag.CommandLine)
 	flag.Parse()
+	stop, err := tel.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	if *cacheDir != "" {
 		if err := corpus.Default().SetCacheDir(*cacheDir); err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"perspectron/internal/features"
 	"perspectron/internal/sim"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 )
@@ -35,33 +36,66 @@ type Prepared struct {
 	Sel features.Selection
 }
 
-// Stats counts the store's traffic: how many datasets were actually
-// simulated versus served from memory or disk, and the same split for
-// prepared bundles (encoder + feature selection).
+// Telemetry series names the store accounts under. Everything Stats reports
+// is derived from these counters — the registry is the single accounting
+// path, and pointing a store at the process-wide registry (SetRegistry)
+// makes the same numbers scrapable from /metrics.
+const (
+	MetricDatasetsCollected = `perspectron_corpus_datasets_total{source="collect"}`
+	MetricDatasetsMemory    = `perspectron_corpus_datasets_total{source="memory"}`
+	MetricDatasetsDisk      = `perspectron_corpus_datasets_total{source="disk"}`
+	MetricPreparedComputed  = `perspectron_corpus_prepared_total{source="computed"}`
+	MetricPreparedMemory    = `perspectron_corpus_prepared_total{source="memory"}`
+	MetricDiskReadBytes     = "perspectron_corpus_disk_read_bytes_total"
+	MetricDiskWrittenBytes  = "perspectron_corpus_disk_written_bytes_total"
+	MetricRunsDropped       = "perspectron_corpus_runs_dropped_total"
+	MetricRunRetries        = "perspectron_corpus_run_retries_total"
+)
+
+// Stats is a snapshot of the store's traffic: how many datasets were
+// actually simulated versus served from memory or disk, the same split for
+// prepared bundles (encoder + feature selection), disk-cache bytes moved,
+// and the collection-health tallies (runs retried after a panic, runs
+// dropped). It is read out of the store's telemetry registry — there is no
+// second accounting path.
 type Stats struct {
 	Collections int // datasets simulated from scratch
 	MemoryHits  int // datasets served from the in-process map
 	DiskHits    int // datasets loaded from the on-disk cache
 	Prepared    int // encoder+selection bundles computed
 	PreparedHit int // bundles served from memory
+
+	DiskReadBytes    int64 // compressed artifact bytes loaded from disk
+	DiskWrittenBytes int64 // compressed artifact bytes persisted to disk
+	RunsDropped      int   // collection runs abandoned (Dataset.Dropped)
+	RunRetries       int   // collection run attempts that were retried
 }
 
 // Sub returns the component-wise difference s - o, for measuring the
 // traffic of one span of work against a long-lived store.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Collections: s.Collections - o.Collections,
-		MemoryHits:  s.MemoryHits - o.MemoryHits,
-		DiskHits:    s.DiskHits - o.DiskHits,
-		Prepared:    s.Prepared - o.Prepared,
-		PreparedHit: s.PreparedHit - o.PreparedHit,
+		Collections:      s.Collections - o.Collections,
+		MemoryHits:       s.MemoryHits - o.MemoryHits,
+		DiskHits:         s.DiskHits - o.DiskHits,
+		Prepared:         s.Prepared - o.Prepared,
+		PreparedHit:      s.PreparedHit - o.PreparedHit,
+		DiskReadBytes:    s.DiskReadBytes - o.DiskReadBytes,
+		DiskWrittenBytes: s.DiskWrittenBytes - o.DiskWrittenBytes,
+		RunsDropped:      s.RunsDropped - o.RunsDropped,
+		RunRetries:       s.RunRetries - o.RunRetries,
 	}
 }
 
 // String renders the one-line cache summary the experiments CLI prints.
+// Collection-health tallies are appended only when something went wrong.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d collected, %d reused in-process, %d loaded from disk (selections: %d computed, %d reused)",
+	out := fmt.Sprintf("%d collected, %d reused in-process, %d loaded from disk (selections: %d computed, %d reused)",
 		s.Collections, s.MemoryHits, s.DiskHits, s.Prepared, s.PreparedHit)
+	if s.RunRetries > 0 || s.RunsDropped > 0 {
+		out += fmt.Sprintf("; %d runs retried, %d dropped", s.RunRetries, s.RunsDropped)
+	}
+	return out
 }
 
 // Store is a content-addressed artifact cache. The zero value is not ready;
@@ -73,18 +107,20 @@ type Store struct {
 	datasets map[string]*trace.Dataset
 	prepared map[string]*Prepared
 	inflight map[string]*sync.WaitGroup
-	stats    Stats
+	reg      *telemetry.Registry // traffic accounting; never nil
 
 	// collect is the collection backend, replaceable in tests.
 	collect func([]workload.Program, trace.CollectConfig) *trace.Dataset
 }
 
-// NewStore returns an empty in-memory store.
+// NewStore returns an empty in-memory store with a private telemetry
+// registry for its traffic counters.
 func NewStore() *Store {
 	return &Store{
 		datasets: map[string]*trace.Dataset{},
 		prepared: map[string]*Prepared{},
 		inflight: map[string]*sync.WaitGroup{},
+		reg:      telemetry.NewRegistry(),
 		collect:  trace.Collect,
 	}
 }
@@ -110,11 +146,43 @@ func (s *Store) SetCacheDir(dir string) error {
 	return nil
 }
 
-// Stats returns a snapshot of the store's traffic counters.
-func (s *Store) Stats() Stats {
+// SetRegistry redirects the store's traffic accounting to reg — typically
+// the process-wide registry enabled by a CLI's -metrics-addr flag, so the
+// corpus series become scrapable. Counters already accumulated in the
+// previous registry are not migrated; point the store before using it.
+// A nil reg is ignored.
+func (s *Store) SetRegistry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// registry returns the store's current accounting registry. Sections that
+// already hold s.mu must use s.reg directly.
+func (s *Store) registry() *telemetry.Registry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	return s.reg
+}
+
+// Stats returns a snapshot of the store's traffic counters, read back from
+// its telemetry registry.
+func (s *Store) Stats() Stats {
+	reg := s.registry()
+	return Stats{
+		Collections:      int(reg.CounterValue(MetricDatasetsCollected)),
+		MemoryHits:       int(reg.CounterValue(MetricDatasetsMemory)),
+		DiskHits:         int(reg.CounterValue(MetricDatasetsDisk)),
+		Prepared:         int(reg.CounterValue(MetricPreparedComputed)),
+		PreparedHit:      int(reg.CounterValue(MetricPreparedMemory)),
+		DiskReadBytes:    int64(reg.CounterValue(MetricDiskReadBytes)),
+		DiskWrittenBytes: int64(reg.CounterValue(MetricDiskWrittenBytes)),
+		RunsDropped:      int(reg.CounterValue(MetricRunsDropped)),
+		RunRetries:       int(reg.CounterValue(MetricRunRetries)),
+	}
 }
 
 // featureSpaceID fingerprints the simulated machine's counter inventory
@@ -157,7 +225,7 @@ func (s *Store) Dataset(progs []workload.Program, cfg trace.CollectConfig) *trac
 	for {
 		s.mu.Lock()
 		if ds, ok := s.datasets[key]; ok {
-			s.stats.MemoryHits++
+			s.reg.Counter(MetricDatasetsMemory).Inc()
 			s.mu.Unlock()
 			return ds
 		}
@@ -172,19 +240,26 @@ func (s *Store) Dataset(progs []workload.Program, cfg trace.CollectConfig) *trac
 		dir := s.dir
 		s.mu.Unlock()
 
-		ds, fromDisk := s.load(dir, key)
-		if ds == nil {
+		reg := s.registry()
+		ds, readBytes := s.load(dir, key)
+		fromDisk := ds != nil
+		if fromDisk {
+			reg.Counter(MetricDiskReadBytes).Add(uint64(readBytes))
+		} else {
 			ds = s.collect(progs, cfg)
+			reg.Counter(MetricRunsDropped).Add(uint64(len(ds.Dropped)))
+			reg.Counter(MetricRunRetries).Add(uint64(ds.Retried))
 			if dir != "" && cacheable(ds, cfg) {
-				s.save(dir, key, ds)
+				written := s.save(dir, key, ds)
+				reg.Counter(MetricDiskWrittenBytes).Add(uint64(written))
 			}
 		}
 		s.mu.Lock()
 		s.datasets[key] = ds
 		if fromDisk {
-			s.stats.DiskHits++
+			s.reg.Counter(MetricDatasetsDisk).Inc()
 		} else {
-			s.stats.Collections++
+			s.reg.Counter(MetricDatasetsCollected).Inc()
 		}
 		delete(s.inflight, key)
 		s.mu.Unlock()
@@ -215,7 +290,7 @@ func (s *Store) Prepared(progs []workload.Program, cfg trace.CollectConfig, selC
 	key := selKey(dsKey, selCfg)
 	s.mu.Lock()
 	if p, ok := s.prepared[key]; ok {
-		s.stats.PreparedHit++
+		s.reg.Counter(MetricPreparedMemory).Inc()
 		s.mu.Unlock()
 		return p
 	}
@@ -233,7 +308,7 @@ func (s *Store) Prepared(progs []workload.Program, cfg trace.CollectConfig, selC
 		return prev
 	}
 	s.prepared[key] = p
-	s.stats.Prepared++
+	s.reg.Counter(MetricPreparedComputed).Inc()
 	s.mu.Unlock()
 	return p
 }

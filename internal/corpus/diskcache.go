@@ -32,38 +32,43 @@ func (s *Store) path(dir, key string) string {
 }
 
 // load tries the on-disk cache; a miss, a corrupt file or a key mismatch
-// all return nil (the caller then collects fresh). fromDisk reports a hit.
-func (s *Store) load(dir, key string) (ds *trace.Dataset, fromDisk bool) {
+// all return a nil dataset (the caller then collects fresh). On a hit,
+// bytesRead is the compressed artifact size, for cache-traffic accounting.
+func (s *Store) load(dir, key string) (ds *trace.Dataset, bytesRead int64) {
 	if dir == "" {
-		return nil, false
+		return nil, 0
 	}
 	f, err := os.Open(s.path(dir, key))
 	if err != nil {
-		return nil, false
+		return nil, 0
 	}
 	defer f.Close()
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		return nil, false
+		return nil, 0
 	}
 	defer zr.Close()
 	var a artifact
 	if err := gob.NewDecoder(zr).Decode(&a); err != nil {
-		return nil, false
+		return nil, 0
 	}
 	if a.Format != diskFormat || a.Key != key || a.Dataset == nil {
-		return nil, false
+		return nil, 0
 	}
-	return a.Dataset, true
+	if st, err := f.Stat(); err == nil {
+		bytesRead = st.Size()
+	}
+	return a.Dataset, bytesRead
 }
 
 // save writes the dataset atomically (temp file + rename) so a crashed or
-// concurrent writer never leaves a torn artifact behind. Failures are
-// silent: the disk cache is an accelerator, not a source of truth.
-func (s *Store) save(dir, key string, ds *trace.Dataset) {
+// concurrent writer never leaves a torn artifact behind, returning the
+// compressed bytes persisted. Failures are silent (returning 0): the disk
+// cache is an accelerator, not a source of truth.
+func (s *Store) save(dir, key string, ds *trace.Dataset) (bytesWritten int64) {
 	tmp, err := os.CreateTemp(dir, key+".tmp-*")
 	if err != nil {
-		return
+		return 0
 	}
 	defer os.Remove(tmp.Name())
 	zw := gzip.NewWriter(tmp)
@@ -71,13 +76,20 @@ func (s *Store) save(dir, key string, ds *trace.Dataset) {
 	if cerr := zw.Close(); err == nil {
 		err = cerr
 	}
+	var size int64
+	if st, serr := tmp.Stat(); serr == nil {
+		size = st.Size()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return
+		return 0
 	}
-	os.Rename(tmp.Name(), s.path(dir, key))
+	if os.Rename(tmp.Name(), s.path(dir, key)) != nil {
+		return 0
+	}
+	return size
 }
 
 // CacheFileName returns the file name a key is stored under — exposed so

@@ -11,11 +11,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"perspectron/internal/corpus"
 	"perspectron/internal/features"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
@@ -104,11 +106,15 @@ type Prepared = corpus.Prepared
 // Prepare returns the base dataset with its encoder and feature selection,
 // computed at most once per (corpus, config) via the artifact store.
 func Prepare(cfg Config) *Prepared {
+	_, span := telemetry.StartSpan(context.Background(), "prepare")
+	defer span.End()
 	return cfg.store().Prepared(BaseCorpus(), cfg.CollectConfig(), features.DefaultSelectConfig())
 }
 
 // PrepareCore is Prepare over the evasion-free core corpus.
 func PrepareCore(cfg Config) *Prepared {
+	_, span := telemetry.StartSpan(context.Background(), "prepare")
+	defer span.End()
 	return cfg.store().Prepared(CoreCorpus(), cfg.CollectConfig(), features.DefaultSelectConfig())
 }
 

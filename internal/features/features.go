@@ -11,12 +11,14 @@
 package features
 
 import (
+	"context"
 	"math"
 	"sort"
 	"strings"
 
 	"perspectron/internal/encoding"
 	"perspectron/internal/stats"
+	"perspectron/internal/telemetry"
 )
 
 // Moments holds per-feature mean and standard deviation over a sample set.
@@ -247,7 +249,12 @@ type Selection struct {
 //  3. greedily pick features per component in round-robin order of mutual
 //     information until MaxFeatures.
 func Select(X [][]float64, y []float64, comps []stats.Component, cfg SelectConfig) Selection {
+	ctx, span := telemetry.StartSpan(context.Background(), "select")
+	defer span.End()
+
+	_, miSpan := telemetry.StartSpan(ctx, "mi")
 	mi := MutualInformation(X, y)
+	miSpan.End()
 	groups := CorrelationGroups(X, y, cfg.GroupThreshold)
 
 	// Step 2: within-component decorrelation. For every (group, component)
@@ -299,6 +306,10 @@ func Select(X [][]float64, y []float64, comps []stats.Component, cfg SelectConfi
 		if !progress {
 			break
 		}
+	}
+	if reg := telemetry.Get(); reg != nil {
+		reg.Gauge("perspectron_select_groups").Set(float64(len(groups)))
+		reg.Gauge("perspectron_select_features").Set(float64(len(picked)))
 	}
 	return Selection{Indices: picked, Groups: groups, MI: mi}
 }

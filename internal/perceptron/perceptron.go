@@ -8,6 +8,8 @@ package perceptron
 import (
 	"math"
 	"math/rand"
+
+	"perspectron/internal/telemetry"
 )
 
 // Config holds training hyperparameters.
@@ -62,8 +64,18 @@ func New(n int, cfg Config) *Perceptron {
 func (p *Perceptron) Name() string { return "PerSpectron" }
 
 // Fit trains with the perceptron learning rule on inputs X (0/1 features)
-// and targets y (±1), shuffling each epoch.
+// and targets y (±1), shuffling each epoch. When telemetry is enabled, Fit
+// records per-epoch error rates, total epochs/updates, the epoch count at
+// convergence and the quantized weight-saturation count.
 func (p *Perceptron) Fit(X [][]float64, y []float64) {
+	reg := telemetry.Get()
+	epochCtr := reg.Counter("perspectron_train_epochs_total")
+	updateCtr := reg.Counter("perspectron_train_updates_total")
+	var errHist *telemetry.Histogram
+	if reg != nil {
+		errHist = reg.Histogram("perspectron_train_epoch_error", telemetry.RatioBuckets)
+	}
+
 	r := rand.New(rand.NewSource(p.cfg.Seed))
 	idx := make([]int, len(X))
 	for i := range idx {
@@ -73,7 +85,9 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 	if epochs <= 0 {
 		epochs = 1000
 	}
+	used := 0
 	for e := 0; e < epochs; e++ {
+		used = e + 1
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		errs, updates := 0, 0
 		for _, i := range idx {
@@ -99,12 +113,21 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 				p.Bias += step
 			}
 		}
+		epochCtr.Inc()
+		updateCtr.Add(uint64(updates))
+		if errHist != nil && len(X) > 0 {
+			errHist.Observe(float64(errs) / float64(len(X)))
+		}
 		if updates == 0 {
 			break // every sample beyond margin: converged
 		}
 		if p.cfg.Margin == 0 && float64(errs)/float64(len(X)) < p.cfg.TargetError {
 			break
 		}
+	}
+	if reg != nil {
+		reg.Gauge("perspectron_train_epochs_converged").Set(float64(used))
+		reg.Gauge("perspectron_train_saturated_weights").Set(float64(p.SaturatedWeights()))
 	}
 }
 
@@ -186,6 +209,21 @@ func (p *Perceptron) TopWeights(k int) (positive, negative []int) {
 	positive = sortBy(func(a, b wi) bool { return a.w > b.w })
 	negative = sortBy(func(a, b wi) bool { return a.w < b.w })
 	return positive, negative
+}
+
+// SaturatedWeights counts the weights that clip to ±127 in the 8-bit
+// hardware datapath (Quantized) — a high count means the weight distribution
+// has outgrown the fixed-point range and the quantized detector is losing
+// resolution on the remaining weights.
+func (p *Perceptron) SaturatedWeights() int {
+	q := p.Quantized()
+	n := 0
+	for _, w := range q.W {
+		if w == 127 || w == -127 || w == -128 {
+			n++
+		}
+	}
+	return n
 }
 
 // Quantized returns an 8-bit fixed-point copy of the detector — the form the

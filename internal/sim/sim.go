@@ -12,6 +12,7 @@ import (
 	"perspectron/internal/isa"
 	"perspectron/internal/pipeline"
 	"perspectron/internal/stats"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/tlb"
 )
 
@@ -171,6 +172,10 @@ func (m *Machine) RunStream(stream isa.Stream, maxInsts, sampleInterval uint64, 
 			fn(idx, v)
 		}
 		idx++
+	}
+	if reg := telemetry.Get(); reg != nil {
+		reg.Counter("perspectron_sim_runs_total").Inc()
+		reg.Counter("perspectron_sim_samples_total").Add(uint64(idx))
 	}
 	return idx
 }

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkNilCounterInc pins the disabled fast path: an Inc through a nil
+// registry's nil instrument must stay a pointer check (sub-nanosecond,
+// zero allocations).
+func BenchmarkNilCounterInc(b *testing.B) {
+	var r *Registry
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("h", ScoreBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.5)
+	}
+}
+
+func BenchmarkNilStartSpan(b *testing.B) {
+	var r *Registry
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := r.StartSpan(ctx, "x")
+		s.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", ScoreBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.5)
+	}
+}
+
+func BenchmarkRegistryLookupCounter(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("c").Inc()
+	}
+}

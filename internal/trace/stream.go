@@ -8,6 +8,7 @@ import (
 
 	"perspectron/internal/isa"
 	"perspectron/internal/sim"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/workload"
 )
 
@@ -28,6 +29,7 @@ type RunSource struct {
 	ch        chan *Sample
 	done      chan struct{}
 	closeOnce sync.Once
+	produced  *telemetry.Counter // samples delivered; nil when disabled
 
 	mu     sync.Mutex
 	stream isa.Stream // underlying workload stream, for LeakMarks
@@ -45,8 +47,9 @@ type RunSource struct {
 // stream early and surfaces through Err.
 func NewRunSource(ctx context.Context, m *sim.Machine, prog workload.Program, run int, seed int64, cfg CollectConfig) *RunSource {
 	src := &RunSource{
-		ch:   make(chan *Sample),
-		done: make(chan struct{}),
+		ch:       make(chan *Sample),
+		done:     make(chan struct{}),
+		produced: telemetry.Get().Counter("perspectron_source_samples_total"),
 	}
 	info := prog.Info()
 	go func() {
@@ -92,6 +95,7 @@ func (s *RunSource) Next() (*Sample, bool) {
 	smp, ok := <-s.ch
 	if ok {
 		s.n++
+		s.produced.Inc()
 	}
 	return smp, ok
 }

@@ -16,6 +16,7 @@ import (
 	"perspectron/internal/isa"
 	"perspectron/internal/sim"
 	"perspectron/internal/stats"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/workload"
 )
 
@@ -41,6 +42,11 @@ type Dataset struct {
 	// that persisted through every retry, or runs cancelled/timed out before
 	// producing a single sample. Training proceeds on the surviving runs.
 	Dropped []string
+
+	// Retried counts run attempts that panicked and were re-attempted with a
+	// fresh seed. Nonzero Retried with empty Dropped means the fault shield
+	// absorbed every failure.
+	Retried int
 }
 
 // NumFeatures returns the feature-space width.
@@ -121,6 +127,10 @@ func Collect(progs []workload.Program, cfg CollectConfig) *Dataset {
 // times with fresh seeds and then dropped (recorded in Dataset.Dropped)
 // instead of killing the collection.
 func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig) *Dataset {
+	reg := telemetry.Get()
+	ctx, span := reg.StartSpan(ctx, "collect")
+	defer span.End()
+
 	probe := sim.NewMachine(sim.DefaultConfig())
 	ds := &Dataset{
 		FeatureNames: probe.Reg.Names(),
@@ -145,7 +155,8 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 		workers = runtime.GOMAXPROCS(0)
 	}
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards ds.Dropped
+	var mu sync.Mutex // guards ds.Dropped and retried
+	retried := 0
 	drop := func(j job, reason string) {
 		mu.Lock()
 		ds.Dropped = append(ds.Dropped, fmt.Sprintf("%s#%d: %s", j.prog.Info().Name, j.run, reason))
@@ -164,15 +175,30 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 				}
 				var out []Sample
 				var err error
+				var start time.Time
+				if reg != nil {
+					start = time.Now()
+				}
 				for attempt := 0; attempt <= cfg.Retries; attempt++ {
 					// Attempt 0 reproduces the historical seed schedule
 					// exactly; retries shift it so a data-dependent panic is
 					// not replayed verbatim.
+					if attempt > 0 {
+						mu.Lock()
+						retried++
+						mu.Unlock()
+					}
 					seed := cfg.Seed*1_000_003 + int64(ji)*7919 + int64(attempt)*104_729
 					out, err = collectOne(ctx, j.prog, j.run, seed, cfg)
 					if err == nil {
 						break
 					}
+				}
+				if reg != nil {
+					name := telemetry.Name("perspectron_collect_run_seconds",
+						"workload", j.prog.Info().Name)
+					reg.Histogram(name, telemetry.DurationBuckets).
+						Observe(time.Since(start).Seconds())
 				}
 				if err != nil {
 					drop(j, err.Error())
@@ -194,6 +220,13 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 
 	for _, r := range results {
 		ds.Samples = append(ds.Samples, r...)
+	}
+	ds.Retried = retried
+	if reg != nil {
+		reg.Counter("perspectron_collect_runs_total").Add(uint64(len(jobs)))
+		reg.Counter("perspectron_collect_run_retries_total").Add(uint64(ds.Retried))
+		reg.Counter("perspectron_collect_runs_dropped_total").Add(uint64(len(ds.Dropped)))
+		reg.Counter("perspectron_collect_samples_total").Add(uint64(len(ds.Samples)))
 	}
 	return ds
 }
@@ -353,9 +386,14 @@ func Project(X [][]float64, idx []int) [][]float64 {
 	return out
 }
 
-// Summary returns a one-line description of the dataset.
+// Summary returns a one-line description of the dataset, including the
+// collection-health tallies when anything was retried or dropped.
 func (d *Dataset) Summary() string {
 	b, m := d.ClassCounts()
-	return fmt.Sprintf("%d samples (%d benign, %d malicious), %d features, interval %d",
+	out := fmt.Sprintf("%d samples (%d benign, %d malicious), %d features, interval %d",
 		len(d.Samples), b, m, d.NumFeatures(), d.Interval)
+	if d.Retried > 0 || len(d.Dropped) > 0 {
+		out += fmt.Sprintf(" (%d runs retried, %d dropped)", d.Retried, len(d.Dropped))
+	}
+	return out
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"perspectron/internal/corpus"
 	"perspectron/internal/encoding"
@@ -27,6 +28,7 @@ import (
 	"perspectron/internal/features"
 	"perspectron/internal/perceptron"
 	"perspectron/internal/sim"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
@@ -182,6 +184,9 @@ func (o Options) selectConfig() features.SelectConfig {
 // the paper's feature-selection algorithm, trains the perceptron on
 // k-sparse binary features, and returns the packaged detector.
 func Train(workloads []Workload, opts Options) (*Detector, error) {
+	_, span := telemetry.StartSpan(context.Background(), "train")
+	defer span.End()
+
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("perspectron: no training workloads")
 	}
@@ -428,6 +433,24 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 	nf := len(d.FeatureNames)
 	coverageSum := 0.0
 
+	// Telemetry instruments are fetched once before the sample loop; on the
+	// disabled (nil registry) path every handle is nil and each per-sample
+	// operation is a single pointer check, keeping Monitor's hot loop at its
+	// uninstrumented cost.
+	reg := telemetry.Get()
+	enabled := reg != nil
+	var (
+		scoreHist   *telemetry.Histogram
+		latencyHist *telemetry.Histogram
+	)
+	if enabled {
+		scoreHist = reg.Histogram("perspectron_monitor_score", telemetry.ScoreBuckets)
+		latencyHist = reg.Histogram("perspectron_monitor_sample_seconds", telemetry.LatencyBuckets)
+	}
+	sampleCtr := reg.Counter("perspectron_monitor_samples_total")
+	flaggedCtr := reg.Counter("perspectron_monitor_flagged_total")
+	_, span := reg.StartSpan(context.Background(), "monitor")
+
 	// Stream the run through the same SampleSource batch collection drains,
 	// scoring each sampling interval as it arrives — the online serving path
 	// shares the per-sample machinery with Collect by construction.
@@ -438,11 +461,23 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 		if !ok {
 			break
 		}
+		var start time.Time
+		if enabled {
+			start = time.Now()
+		}
 		score, avail := d.scoreSample(s.Raw, s.Index)
+		if enabled {
+			latencyHist.Observe(time.Since(start).Seconds())
+			scoreHist.Observe(score)
+		}
+		sampleCtr.Inc()
 		if nf > 0 {
 			coverageSum += float64(avail) / float64(nf)
 		}
 		flagged := score >= d.Threshold
+		if flagged {
+			flaggedCtr.Inc()
+		}
 		rep.Samples = append(rep.Samples, SamplePoint{
 			Index:   s.Index,
 			Insts:   uint64(s.Index+1) * d.Interval,
@@ -454,6 +489,7 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 			rep.Detected = true
 		}
 	}
+	span.End()
 	if err := src.Err(); err != nil {
 		return nil, fmt.Errorf("perspectron: monitoring %s: %w", info.Name, err)
 	}
@@ -470,6 +506,16 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 	}
 	if len(rep.LeakSamples) > 0 {
 		rep.LeakBefore = rep.FirstFlag < 0 || rep.LeakSamples[0] < rep.FirstFlag
+	}
+	if enabled {
+		reg.Gauge("perspectron_monitor_coverage").Set(rep.Coverage)
+		reg.Event("monitor", map[string]any{
+			"workload":  rep.Workload,
+			"malicious": rep.Malicious,
+			"detected":  rep.Detected,
+			"samples":   len(rep.Samples),
+			"coverage":  rep.Coverage,
+		})
 	}
 	return rep, nil
 }
