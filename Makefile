@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # BENCH filters which benchmarks run (a go test -bench regexp).
 BENCH ?= .
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench smoke-serve
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race -timeout 20m ./...
+
+# smoke-serve exercises the long-running detection service end to end with a
+# race-enabled binary: readiness, corrupt-checkpoint rollback via /healthz and
+# /metrics, and clean SIGTERM drain (see scripts/serve_smoke.sh).
+smoke-serve:
+	bash scripts/serve_smoke.sh
 
 # bench runs the root-package benchmarks plus the telemetry micro-benchmarks
 # with -benchmem, tees the text log to bench.out, and converts it into the

@@ -1,0 +1,137 @@
+package perspectron
+
+// Checkpointing: the serialized Detector/Classifier JSON carries an embedded
+// SHA-256 self-checksum (see the Checksum fields), and the *File wrappers
+// here write atomically — temp file in the destination directory, fsync,
+// rename — so a crashed writer never leaves a torn checkpoint where a
+// long-running service's hot-reload watcher (internal/serve) could pick it
+// up. The checksum's leading hex digits double as a content version: two
+// checkpoints with the same weights share a version, and the serving
+// runtime's /healthz reports which version is live.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perspectron/internal/telemetry"
+)
+
+// checksumPrefix tags the checksum scheme, leaving room to evolve it.
+const checksumPrefix = "sha256:"
+
+// checksumJSON renders v in canonical (compact) JSON and returns its tagged
+// SHA-256. Encoding is deterministic — struct field order and Go's shortest
+// float64 round-trip formatting — so decode→re-encode is a fixed point and
+// the checksum survives whitespace-only rewrites.
+func checksumJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return checksumPrefix + fmt.Sprintf("%x", sum), nil
+}
+
+// verifyChecksum checks a stored checkpoint checksum against the canonical
+// re-encoding of the decoded payload (with its Checksum field cleared). An
+// empty stored checksum is the legacy pre-checksum format: accepted, but
+// counted and warned about so operators notice unprotected model files.
+func verifyChecksum(kind, stored string, payload any) error {
+	if stored == "" {
+		telemetry.Get().Counter(telemetry.Name("perspectron_checkpoint_legacy_total", "kind", kind)).Inc()
+		fmt.Fprintf(os.Stderr, "perspectron: warning: loading legacy checksum-less %s checkpoint\n", kind)
+		return nil
+	}
+	computed, err := checksumJSON(payload)
+	if err != nil {
+		return fmt.Errorf("perspectron: re-encoding %s for checksum: %w", kind, err)
+	}
+	if computed != stored {
+		return fmt.Errorf("perspectron: %s checkpoint corrupt: checksum mismatch (stored %s, computed %s)",
+			kind, short(stored), short(computed))
+	}
+	return nil
+}
+
+// short abbreviates a tagged checksum for error messages.
+func short(sum string) string {
+	if len(sum) > len(checksumPrefix)+12 {
+		return sum[:len(checksumPrefix)+12] + "…"
+	}
+	return sum
+}
+
+// Version returns the detector checkpoint's content version: the first 12
+// hex digits of its checksum, or "unversioned" for a detector that has never
+// been saved or loaded.
+func (d *Detector) Version() string { return version(d.Checksum) }
+
+// Version returns the classifier checkpoint's content version.
+func (c *Classifier) Version() string { return version(c.Checksum) }
+
+func version(checksum string) string {
+	s := strings.TrimPrefix(checksum, checksumPrefix)
+	if len(s) < 12 {
+		return "unversioned"
+	}
+	return s[:12]
+}
+
+// writeFileAtomic writes the serialization produced by save to path via a
+// temp file + fsync + rename in path's directory, so readers (including the
+// serve watcher polling the file) only ever observe a complete checkpoint.
+func writeFileAtomic(path string, save func(w *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	err = save(tmp)
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SaveFile writes the detector checkpoint to path atomically.
+func (d *Detector) SaveFile(path string) error {
+	return writeFileAtomic(path, func(w *os.File) error { return d.Save(w) })
+}
+
+// LoadFile reads and verifies a detector checkpoint written by SaveFile (or
+// any Save output on disk).
+func LoadFile(path string) (*Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveFile writes the classifier checkpoint to path atomically.
+func (c *Classifier) SaveFile(path string) error {
+	return writeFileAtomic(path, func(w *os.File) error { return c.Save(w) })
+}
+
+// LoadClassifierFile reads and verifies a classifier checkpoint written by
+// SaveFile.
+func LoadClassifierFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadClassifier(f)
+}

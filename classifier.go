@@ -24,6 +24,10 @@ import (
 // distinguishing Spectre variants needs the per-predictor-unit counters the
 // binary selection has no reason to keep.
 type Classifier struct {
+	// Checksum is the SHA-256 self-checksum Save embeds; see
+	// Detector.Checksum for the scheme.
+	Checksum string `json:"checksum,omitempty"`
+
 	Classes      []string    `json:"classes"`
 	FeatureNames []string    `json:"feature_names"`
 	Weights      [][]float64 `json:"weights"` // [class][feature]
@@ -95,14 +99,7 @@ func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 // only error is a machine carrying none of them.
 func (c *Classifier) resolve(m *sim.Machine) (int, error) {
 	if c.indices == nil || len(c.indices) != len(c.FeatureNames) {
-		c.indices = make([]int, len(c.FeatureNames))
-		for i, name := range c.FeatureNames {
-			if cc, ok := m.Reg.Lookup(name); ok {
-				c.indices[i] = cc.Index()
-			} else {
-				c.indices[i] = -1
-			}
-		}
+		c.indices, _ = resolveNames(c.FeatureNames, m)
 	}
 	resolved := 0
 	for _, j := range c.indices {
@@ -130,7 +127,14 @@ func (c *Classifier) encoding() *encoding.Encoding {
 // weights, exactly like Detector.scoreSample. avail is the number of
 // observable features.
 func (c *Classifier) classScores(raw []float64) (scores []float64, avail int) {
-	bits, avail := c.encoding().Bits(raw, c.indices, -1, nil)
+	return c.classScoresWith(raw, c.indices)
+}
+
+// classScoresWith is classScores over caller-supplied counter indices — the
+// lock-free concurrent path, mirroring Detector.scoreWith: the classifier is
+// read, never written, so serving sessions can share one model.
+func (c *Classifier) classScoresWith(raw []float64, indices []int) (scores []float64, avail int) {
+	bits, avail := c.encoding().Bits(raw, indices, -1, nil)
 	out := make([]float64, len(c.Classes))
 	for ci := range c.Classes {
 		out[ci] = encoding.Margin(c.Biases[ci], c.Weights[ci], bits)
@@ -160,14 +164,20 @@ type Classification struct {
 // Classify runs the workload and names its class by per-interval majority
 // vote.
 func (c *Classifier) Classify(w Workload, maxInsts uint64, seed int64) (*Classification, error) {
-	return c.classify(w, maxInsts, seed, nil)
+	return c.classify(context.Background(), w, maxInsts, seed, nil)
+}
+
+// ClassifyCtx is Classify bounded by ctx: cancellation or a deadline ends
+// the run early and surfaces as the context's error.
+func (c *Classifier) ClassifyCtx(ctx context.Context, w Workload, maxInsts uint64, seed int64) (*Classification, error) {
+	return c.classify(ctx, w, maxInsts, seed, nil)
 }
 
 // ClassifyFaulty is Classify with counter-level faults injected into the
 // machine's sampled vectors — the multi-way analogue of MonitorFaulty. The
 // classifier votes in degraded mode over whatever signal survives.
 func (c *Classifier) ClassifyFaulty(w Workload, maxInsts uint64, seed int64, fc FaultConfig) (*Classification, error) {
-	return c.classify(w, maxInsts, seed, func(m *sim.Machine) error {
+	return c.classify(context.Background(), w, maxInsts, seed, func(m *sim.Machine) error {
 		sched, err := fc.schedule(m)
 		if err != nil {
 			return err
@@ -179,7 +189,7 @@ func (c *Classifier) ClassifyFaulty(w Workload, maxInsts uint64, seed int64, fc 
 	})
 }
 
-func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Classification, error) {
+func (c *Classifier) classify(ctx context.Context, w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Classification, error) {
 	m := sim.NewMachine(sim.DefaultConfig())
 	if _, err := c.resolve(m); err != nil {
 		return nil, err
@@ -207,12 +217,13 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 		latencyHist = reg.Histogram("perspectron_classify_sample_seconds", telemetry.LatencyBuckets)
 	}
 	sampleCtr := reg.Counter("perspectron_classify_samples_total")
-	_, span := reg.StartSpan(context.Background(), "classify")
+	_, span := reg.StartSpan(ctx, "classify")
 
-	src := trace.NewRunSource(context.Background(), m, w, 0, seed,
+	src := trace.NewRunSource(ctx, m, w, 0, seed,
 		trace.CollectConfig{MaxInsts: maxInsts, Interval: c.Interval})
+	defer src.Close()
 	for {
-		s, ok := src.Next()
+		s, ok := src.NextCtx(ctx)
 		if !ok {
 			break
 		}
@@ -239,6 +250,9 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 		samples++
 	}
 	span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("perspectron: classifying %s: %w", res.Workload, err)
+	}
 	if err := src.Err(); err != nil {
 		return nil, fmt.Errorf("perspectron: classifying %s: %w", res.Workload, err)
 	}
@@ -267,20 +281,82 @@ func (c *Classifier) classify(w Workload, maxInsts uint64, seed int64, inject fu
 	return res, nil
 }
 
-// Save serializes the classifier as JSON.
+// Save serializes the classifier as JSON with an embedded SHA-256
+// self-checksum (the scheme Detector.Save uses).
 func (c *Classifier) Save(w io.Writer) error {
+	cc := *c
+	cc.Checksum = ""
+	sum, err := checksumJSON(&cc)
+	if err != nil {
+		return fmt.Errorf("perspectron: encoding classifier: %w", err)
+	}
+	cc.Checksum = sum
+	c.Checksum = sum // the in-memory classifier adopts its content version
 	enc := json.NewEncoder(w)
-	return enc.Encode(c)
+	return enc.Encode(&cc)
 }
 
-// LoadClassifier reads a classifier written by Save.
+// LoadClassifier reads a classifier written by Save, verifying the embedded
+// checksum (legacy checksum-less files load with a warning) and validating
+// the decoded structure.
 func LoadClassifier(r io.Reader) (*Classifier, error) {
 	var c Classifier
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("perspectron: decoding classifier: %w", err)
 	}
-	if len(c.Weights) != len(c.Classes) || len(c.Biases) != len(c.Classes) {
-		return nil, fmt.Errorf("perspectron: corrupt classifier")
+	cc := c
+	cc.Checksum = ""
+	if err := verifyChecksum("classifier", c.Checksum, &cc); err != nil {
+		return nil, err
+	}
+	if c.Checksum == "" {
+		c.Checksum, _ = checksumJSON(&cc)
+	}
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("perspectron: corrupt classifier: %w", err)
 	}
 	return &c, nil
+}
+
+// validate checks the structural and numeric invariants Save guarantees —
+// the classifier analogue of Detector.validate.
+func (c *Classifier) validate() error {
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("no classes")
+	}
+	if len(c.Weights) != len(c.Classes) || len(c.Biases) != len(c.Classes) {
+		return fmt.Errorf("%d weight rows and %d biases for %d classes",
+			len(c.Weights), len(c.Biases), len(c.Classes))
+	}
+	nf := len(c.FeatureNames)
+	if nf == 0 {
+		return fmt.Errorf("no features")
+	}
+	if len(c.GlobalMax) != nf {
+		return fmt.Errorf("%d global maxima for %d features", len(c.GlobalMax), nf)
+	}
+	if c.Interval == 0 {
+		return fmt.Errorf("non-positive sampling interval")
+	}
+	for ci, row := range c.Weights {
+		if len(row) != nf {
+			return fmt.Errorf("class %q has %d weights for %d features", c.Classes[ci], len(row), nf)
+		}
+		for _, w := range row {
+			if !finite(w) {
+				return fmt.Errorf("non-finite weight in class %q", c.Classes[ci])
+			}
+		}
+	}
+	for ci, b := range c.Biases {
+		if !finite(b) {
+			return fmt.Errorf("non-finite bias for class %q", c.Classes[ci])
+		}
+	}
+	for i, m := range c.GlobalMax {
+		if !finite(m) {
+			return fmt.Errorf("non-finite global max for feature %q", c.FeatureNames[i])
+		}
+	}
+	return nil
 }

@@ -107,3 +107,72 @@ func TestClassifierDropoutDegraded(t *testing.T) {
 		t.Errorf("empty FaultConfig degraded the run")
 	}
 }
+
+// TestClassifierBlackoutDegraded covers the scheduled-window fault class: a
+// component blackout masks every counter the component owns, so the
+// classifier must run degraded for the blacked-out samples and a full-run
+// blackout must cost more coverage than a bounded window.
+func TestClassifierBlackoutDegraded(t *testing.T) {
+	c := sharedClassifier(t)
+	if _, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 40_000, 3,
+		FaultConfig{Blackout: "no-such-component"}); err == nil {
+		t.Fatalf("unknown blackout component accepted")
+	}
+
+	full, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 80_000, 3,
+		FaultConfig{Seed: 5, Blackout: "dcache"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Degraded || full.Coverage >= 1 || full.Coverage <= 0 {
+		t.Fatalf("full-run dcache blackout not reflected: degraded=%v coverage=%.3f",
+			full.Degraded, full.Coverage)
+	}
+	if full.Class == "" || len(full.Votes) == 0 {
+		t.Fatalf("blacked-out classify produced no verdict: %+v", full)
+	}
+
+	// Samples [2, 4) only: still degraded, but strictly more coverage than
+	// losing the component for the whole run.
+	windowed, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 80_000, 3,
+		FaultConfig{Seed: 5, Blackout: "dcache", BlackoutFrom: 2, BlackoutTo: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !windowed.Degraded {
+		t.Errorf("windowed blackout not marked degraded")
+	}
+	if windowed.Coverage <= full.Coverage {
+		t.Errorf("windowed blackout coverage %.3f <= full-run %.3f",
+			windowed.Coverage, full.Coverage)
+	}
+}
+
+// TestClassifierStuckAtKeepsFullCoverage pins counters to plausible-but-wrong
+// finite values (dead-at-zero and saturated sensors). Unlike dropout or
+// blackout there is no sentinel to mask, so the classifier must NOT report
+// degraded mode — the corruption is silent — while still producing a
+// verdict from the distorted vectors.
+func TestClassifierStuckAtKeepsFullCoverage(t *testing.T) {
+	c := sharedClassifier(t)
+	for _, tc := range []struct {
+		name string
+		fc   FaultConfig
+	}{
+		{"stuck-at-zero", FaultConfig{Seed: 11, StuckZero: 0.3}},
+		{"stuck-at-max", FaultConfig{Seed: 11, StuckMax: 0.3}},
+		{"both", FaultConfig{Seed: 11, StuckZero: 0.2, StuckMax: 0.2}},
+	} {
+		res, err := c.ClassifyFaulty(AttackByName("flush+reload", ""), 80_000, 5, tc.fc)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Class == "" || len(res.Votes) == 0 {
+			t.Fatalf("%s: no verdict under stuck-at faults: %+v", tc.name, res)
+		}
+		if res.Degraded || res.Coverage != 1 {
+			t.Errorf("%s: finite stuck-at values were masked: degraded=%v coverage=%.3f",
+				tc.name, res.Degraded, res.Coverage)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 //	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-noise F]
 //	                   [-jitter F] [-blackout comp[:from[:to]]] [-faultseed N]
 //	perspectron info   [-in detector.json]
+//	perspectron serve  [-in detector.json] [-classifier classifier.json]
+//	                   [-workloads name,name|all|attacks|benign] [-channel fr|ff|pp]
+//	                   [-insts N] [-seed N] [-episodes N] [-verdicts FILE]
+//	                   [-sample-timeout D] [-episode-timeout D] [-poll D]
+//	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-faultseed N]
 //	perspectron list
 //
 // `detect` monitors the named workload on a fresh simulated machine and
@@ -15,17 +20,28 @@
 // preceded the first disclosure. The fault flags inject deterministic
 // counter-level faults into the sampled vectors (see docs/FAULTS.md); the
 // detector then runs in degraded mode and the report states its coverage.
+//
+// `serve` runs the long-lived supervised detection service (docs/SERVICE.md):
+// one worker per workload, checkpoint hot-reload with rollback, graceful
+// degradation, and /healthz + /readyz next to /metrics when -metrics-addr is
+// given. SIGINT/SIGTERM drains cleanly, flushing the verdict log.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"perspectron"
 	"perspectron/internal/corpus"
+	"perspectron/internal/serve"
 	"perspectron/internal/telemetry/telemetrycli"
 )
 
@@ -44,6 +60,8 @@ func main() {
 		cmdClassify(os.Args[2:])
 	case "info":
 		cmdInfo(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "list":
 		cmdList()
 	default:
@@ -52,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|serve|list} [flags]")
 	os.Exit(2)
 }
 
@@ -354,6 +372,128 @@ func cmdClassify(args []string) {
 	}
 	fmt.Printf("workload: %s\nclass:    %s (%.0f%% of intervals)\nvotes:    %v\n",
 		res.Workload, res.Class, res.Confidence*100, res.Votes)
+}
+
+// resolveWorkloads expands the -workloads flag: "all" (training corpus),
+// "attacks", "benign", or a comma-separated list of workload names resolved
+// like `detect` does.
+func resolveWorkloads(spec, channel string) ([]perspectron.Workload, error) {
+	switch spec {
+	case "all":
+		return perspectron.TrainingWorkloads(), nil
+	case "attacks":
+		return perspectron.AttackWorkloads(), nil
+	case "benign":
+		return perspectron.BenignWorkloads(), nil
+	}
+	var progs []perspectron.Workload
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w := perspectron.AttackByName(name, channel)
+		if w == nil {
+			for _, b := range perspectron.BenignWorkloads() {
+				if b.Info().Name == name {
+					w = b
+				}
+			}
+		}
+		if w == nil {
+			return nil, fmt.Errorf("unknown workload %q; try `perspectron list`", name)
+		}
+		progs = append(progs, w)
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("-workloads resolved to nothing")
+	}
+	return progs, nil
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "detector.json", "detector checkpoint to serve and watch for hot-reload")
+	clsPath := fs.String("classifier", "", "optional classifier checkpoint (enables the top ladder rung)")
+	spec := fs.String("workloads", "benign", "streams to monitor: all|attacks|benign or comma-separated names")
+	channel := fs.String("channel", "fr", "disclosure channel for attack workloads")
+	insts := fs.Uint64("insts", 100_000, "committed instructions per episode")
+	seed := fs.Int64("seed", 1, "base seed, varied per worker and episode")
+	episodes := fs.Int("episodes", 0, "stop each worker after N episodes (0 = run until signalled)")
+	verdicts := fs.String("verdicts", "-", "verdict log destination: - for stdout, empty to disable, else a file (appended)")
+	sampleTimeout := fs.Duration("sample-timeout", 2*time.Second, "per-sample deadline before an episode fails")
+	episodeTimeout := fs.Duration("episode-timeout", 60*time.Second, "whole-episode deadline")
+	poll := fs.Duration("poll", 500*time.Millisecond, "checkpoint watch cadence (negative disables hot-reload)")
+	dropout := fs.Float64("dropout", 0, "per-sample counter dropout probability (fault injection)")
+	stuck0 := fs.Float64("stuck0", 0, "fraction of counters stuck at zero")
+	stuckMax := fs.Float64("stuckmax", 0, "fraction of counters stuck at saturation")
+	faultSeed := fs.Int64("faultseed", 1, "fault-schedule seed")
+	tel := telemetrycli.Register(fs)
+	fs.Parse(args)
+
+	workloads, err := resolveWorkloads(*spec, *channel)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		DetectorPath:   *in,
+		ClassifierPath: *clsPath,
+		Workloads:      workloads,
+		MaxInsts:       *insts,
+		Seed:           *seed,
+		MaxEpisodes:    *episodes,
+		SampleTimeout:  *sampleTimeout,
+		EpisodeTimeout: *episodeTimeout,
+		PollInterval:   *poll,
+	}
+	if *dropout > 0 || *stuck0 > 0 || *stuckMax > 0 {
+		cfg.Faults = &perspectron.FaultConfig{
+			Seed:      *faultSeed,
+			Dropout:   *dropout,
+			StuckZero: *stuck0,
+			StuckMax:  *stuckMax,
+		}
+	}
+	switch *verdicts {
+	case "":
+	case "-":
+		cfg.VerdictLog = serve.NewVerdictLog(os.Stdout)
+	default:
+		f, err := os.OpenFile(*verdicts, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.VerdictLog = serve.NewVerdictLog(f)
+	}
+
+	sup, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	// Health endpoints ride on the metrics server; register before Start.
+	tel.Extra = sup.Handlers()
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+
+	det, cls := sup.Models().Versions()
+	fmt.Fprintf(os.Stderr, "serve: %d workers, detector %s, classifier %s\n",
+		len(workloads), det, cls)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	err = sup.Run(ctx)
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "serve: all workers completed")
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "serve: drained cleanly on signal")
+	default:
+		fatal(err)
+	}
 }
 
 func cmdList() {

@@ -9,7 +9,11 @@ import (
 )
 
 // mutate round-trips the shared detector through JSON, lets f corrupt the
-// generic decoding, and returns Load's verdict on the re-encoded bytes.
+// generic decoding, and returns Load's verdict on the re-encoded bytes. The
+// embedded checksum is stripped so the corruption reaches the structural
+// validator (with it left in place, every mutation would fail earlier with
+// the generic checksum-mismatch error — TestChecksumDetectsMutation covers
+// that path).
 func mutate(t *testing.T, f func(m map[string]any)) error {
 	t.Helper()
 	var buf bytes.Buffer
@@ -21,6 +25,7 @@ func mutate(t *testing.T, f func(m map[string]any)) error {
 		t.Fatal(err)
 	}
 	f(m)
+	delete(m, "checksum")
 	out, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)

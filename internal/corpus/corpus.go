@@ -15,6 +15,7 @@
 package corpus
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -109,8 +110,10 @@ type Store struct {
 	inflight map[string]*sync.WaitGroup
 	reg      *telemetry.Registry // traffic accounting; never nil
 
-	// collect is the collection backend, replaceable in tests.
-	collect func([]workload.Program, trace.CollectConfig) *trace.Dataset
+	// collect is the collection backend, replaceable in tests. It receives
+	// the caller's context so a cancelled DatasetCtx stops scheduling
+	// simulation runs.
+	collect func(context.Context, []workload.Program, trace.CollectConfig) *trace.Dataset
 }
 
 // NewStore returns an empty in-memory store with a private telemetry
@@ -121,7 +124,7 @@ func NewStore() *Store {
 		prepared: map[string]*Prepared{},
 		inflight: map[string]*sync.WaitGroup{},
 		reg:      telemetry.NewRegistry(),
-		collect:  trace.Collect,
+		collect:  trace.CollectCtx,
 	}
 }
 
@@ -133,12 +136,14 @@ func Default() *Store { return defaultStore }
 
 // SetCacheDir enables the on-disk cache under dir (creating it if needed);
 // an empty dir disables disk caching. Entries are written after each fresh
-// collection and consulted before simulating.
+// collection and consulted before simulating. Stale temp files from failed
+// atomic writes are swept on the way in (see SweepOrphans).
 func (s *Store) SetCacheDir(dir string) error {
 	if dir != "" {
 		if err := ensureDir(dir); err != nil {
 			return err
 		}
+		SweepOrphans(dir)
 	}
 	s.mu.Lock()
 	s.dir = dir
@@ -221,6 +226,14 @@ func DatasetKey(progs []workload.Program, cfg trace.CollectConfig) string {
 // on-disk cache when one is configured. Deterministic seeding makes every
 // path byte-identical.
 func (s *Store) Dataset(progs []workload.Program, cfg trace.CollectConfig) *trace.Dataset {
+	return s.DatasetCtx(context.Background(), progs, cfg)
+}
+
+// DatasetCtx is Dataset under a context: cancellation stops scheduling new
+// simulation runs (the collection backend observes ctx) and skips disk-cache
+// reads and writes. A cancelled request still returns whatever partial
+// dataset the backend produced — callers that care should check ctx.Err().
+func (s *Store) DatasetCtx(ctx context.Context, progs []workload.Program, cfg trace.CollectConfig) *trace.Dataset {
 	key := DatasetKey(progs, cfg)
 	for {
 		s.mu.Lock()
@@ -241,16 +254,26 @@ func (s *Store) Dataset(progs []workload.Program, cfg trace.CollectConfig) *trac
 		s.mu.Unlock()
 
 		reg := s.registry()
-		ds, readBytes := s.load(dir, key)
+		ds, readBytes := s.load(ctx, dir, key)
 		fromDisk := ds != nil
 		if fromDisk {
 			reg.Counter(MetricDiskReadBytes).Add(uint64(readBytes))
 		} else {
-			ds = s.collect(progs, cfg)
+			ds = s.collect(ctx, progs, cfg)
 			reg.Counter(MetricRunsDropped).Add(uint64(len(ds.Dropped)))
 			reg.Counter(MetricRunRetries).Add(uint64(ds.Retried))
+			// A cancelled collection is partial: never persist it, and keep
+			// it out of the memory cache too — a later caller with a live
+			// context must get a complete collection.
+			if ctx.Err() != nil {
+				s.mu.Lock()
+				delete(s.inflight, key)
+				s.mu.Unlock()
+				wg.Done()
+				return ds
+			}
 			if dir != "" && cacheable(ds, cfg) {
-				written := s.save(dir, key, ds)
+				written := s.save(ctx, dir, key, ds)
 				reg.Counter(MetricDiskWrittenBytes).Add(uint64(written))
 			}
 		}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -47,9 +48,9 @@ func TestDatasetMemoized(t *testing.T) {
 	s := NewStore()
 	collections := 0
 	inner := s.collect
-	s.collect = func(p []workload.Program, c trace.CollectConfig) *trace.Dataset {
+	s.collect = func(ctx context.Context, p []workload.Program, c trace.CollectConfig) *trace.Dataset {
 		collections++
-		return inner(p, c)
+		return inner(ctx, p, c)
 	}
 	a := s.Dataset(tinyCorpus(), tinyConfig())
 	b := s.Dataset(tinyCorpus(), tinyConfig())
@@ -119,7 +120,7 @@ func TestDiskCacheRoundTripByteIdentical(t *testing.T) {
 	// A second store (fresh process, same cache dir) must load from disk —
 	// zero collections — and serve bit-identical samples.
 	s2 := NewStore()
-	s2.collect = func([]workload.Program, trace.CollectConfig) *trace.Dataset {
+	s2.collect = func(context.Context, []workload.Program, trace.CollectConfig) *trace.Dataset {
 		t.Fatal("disk-cached dataset was re-collected")
 		return nil
 	}
@@ -160,11 +161,11 @@ func TestConcurrentRequestsCollapse(t *testing.T) {
 	var mu sync.Mutex
 	collections := 0
 	inner := s.collect
-	s.collect = func(p []workload.Program, c trace.CollectConfig) *trace.Dataset {
+	s.collect = func(ctx context.Context, p []workload.Program, c trace.CollectConfig) *trace.Dataset {
 		mu.Lock()
 		collections++
 		mu.Unlock()
-		return inner(p, c)
+		return inner(ctx, p, c)
 	}
 	const goroutines = 8
 	out := make([]*trace.Dataset, goroutines)

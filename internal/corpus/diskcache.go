@@ -2,10 +2,14 @@ package corpus
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"perspectron/internal/trace"
 )
@@ -31,11 +35,75 @@ func (s *Store) path(dir, key string) string {
 	return filepath.Join(dir, key+".dataset.gob.gz")
 }
 
-// load tries the on-disk cache; a miss, a corrupt file or a key mismatch
-// all return a nil dataset (the caller then collects fresh). On a hit,
-// bytesRead is the compressed artifact size, for cache-traffic accounting.
-func (s *Store) load(dir, key string) (ds *trace.Dataset, bytesRead int64) {
+// orphanTmpAge is how old a leftover temp file must be before the sweep
+// removes it. Fresh temp files may belong to a concurrent writer mid-rename;
+// anything this stale is debris from a crashed or killed process.
+const orphanTmpAge = time.Hour
+
+// SweepOrphans removes temp files abandoned by failed atomic writes —
+// "<key>.tmp-<rand>" debris a crashed process left next to the artifacts.
+// Only files older than orphanTmpAge go; a temp file younger than that may
+// be a live concurrent writer's. It returns the number removed. SetCacheDir
+// runs a sweep automatically; long-running services may call it
+// periodically.
+func SweepOrphans(dir string) int {
 	if dir == "" {
+		return 0
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-orphanTmpAge)
+	removed := 0
+	for _, e := range ents {
+		if e.IsDir() || !strings.Contains(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// ctxReader aborts a stream read once ctx ends, so a cancelled caller is not
+// held behind a slow or hung disk.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// ctxWriter is the write-side analogue of ctxReader.
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
+}
+
+// load tries the on-disk cache; a miss, a corrupt file, a key mismatch or a
+// cancelled ctx all return a nil dataset (the caller then collects fresh —
+// or returns promptly if its ctx is gone). On a hit, bytesRead is the
+// compressed artifact size, for cache-traffic accounting.
+func (s *Store) load(ctx context.Context, dir, key string) (ds *trace.Dataset, bytesRead int64) {
+	if dir == "" || ctx.Err() != nil {
 		return nil, 0
 	}
 	f, err := os.Open(s.path(dir, key))
@@ -43,7 +111,7 @@ func (s *Store) load(dir, key string) (ds *trace.Dataset, bytesRead int64) {
 		return nil, 0
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
+	zr, err := gzip.NewReader(ctxReader{ctx, f})
 	if err != nil {
 		return nil, 0
 	}
@@ -63,15 +131,19 @@ func (s *Store) load(dir, key string) (ds *trace.Dataset, bytesRead int64) {
 
 // save writes the dataset atomically (temp file + rename) so a crashed or
 // concurrent writer never leaves a torn artifact behind, returning the
-// compressed bytes persisted. Failures are silent (returning 0): the disk
-// cache is an accelerator, not a source of truth.
-func (s *Store) save(dir, key string, ds *trace.Dataset) (bytesWritten int64) {
+// compressed bytes persisted. Failures — including a ctx cancelled mid-write
+// — are silent (returning 0) and leave no temp file: the disk cache is an
+// accelerator, not a source of truth.
+func (s *Store) save(ctx context.Context, dir, key string, ds *trace.Dataset) (bytesWritten int64) {
+	if ctx.Err() != nil {
+		return 0
+	}
 	tmp, err := os.CreateTemp(dir, key+".tmp-*")
 	if err != nil {
 		return 0
 	}
-	defer os.Remove(tmp.Name())
-	zw := gzip.NewWriter(tmp)
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	zw := gzip.NewWriter(ctxWriter{ctx, tmp})
 	err = gob.NewEncoder(zw).Encode(artifact{Format: diskFormat, Key: key, Dataset: ds})
 	if cerr := zw.Close(); err == nil {
 		err = cerr
@@ -83,7 +155,7 @@ func (s *Store) save(dir, key string, ds *trace.Dataset) (bytesWritten int64) {
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
-	if err != nil {
+	if err != nil || ctx.Err() != nil {
 		return 0
 	}
 	if os.Rename(tmp.Name(), s.path(dir, key)) != nil {

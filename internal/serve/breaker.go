@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker the supervisor
+// puts in front of each worker's episode loop.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota // episodes flow normally
+	breakerOpen                       // too many consecutive failures; hold off
+	breakerHalf                       // cooldown elapsed; one trial episode
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalf:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker trips open after threshold consecutive failures and lets a single
+// trial episode through once cooldown has elapsed: a worker whose workload
+// panics on every run stops burning a simulator core, without being written
+// off forever. All methods are safe for concurrent use; now is injectable
+// so tests never sleep.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	trips    int
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether the next episode may run. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits exactly one
+// trial.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalf:
+		return true
+	default: // open
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalf
+			return true
+		}
+		return false
+	}
+}
+
+// success closes the breaker and clears the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed episode, tripping the breaker at the threshold.
+// A failed half-open trial re-opens immediately. It reports whether this
+// call opened the breaker.
+func (b *breaker) failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalf || (b.state == breakerClosed && b.failures >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.trips++
+		return true
+	}
+	return false
+}
+
+// snapshot returns the state for health reporting.
+func (b *breaker) snapshot() (state string, failures, trips int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.failures, b.trips
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// WorkerHealth is one worker's row in the /healthz report.
+type WorkerHealth struct {
+	Worker   string  `json:"worker"`
+	Mode     string  `json:"mode"`
+	Breaker  string  `json:"breaker"`
+	Coverage float64 `json:"coverage"` // smoothed (EWMA) feature coverage
+	Episodes int64   `json:"episodes"`
+	Failures int64   `json:"failures"`
+	Restarts int64   `json:"restarts"` // goroutine restarts after a panic
+	LastErr  string  `json:"last_error,omitempty"`
+}
+
+// Health is the /healthz body: overall status, the live model versions, the
+// hot-reload ledger and per-worker state.
+type Health struct {
+	// Status is "ok" (every worker on its top rung, breakers closed),
+	// "degraded" (any worker on a lower rung, an open breaker, or a
+	// rolled-back reload), or "draining" (shutdown in progress).
+	Status            string         `json:"status"`
+	Ready             bool           `json:"ready"`
+	DetectorVersion   string         `json:"detector_version"`
+	ClassifierVersion string         `json:"classifier_version"`
+	Reloads           int            `json:"reloads"`
+	Rollbacks         int            `json:"rollbacks"`
+	ReloadError       string         `json:"reload_error,omitempty"`
+	LastReloadAt      string         `json:"last_reload_at,omitempty"`
+	Verdicts          int            `json:"verdicts"`
+	Workers           []WorkerHealth `json:"workers"`
+}
+
+// Health snapshots the supervisor for the health endpoints (and tests).
+func (s *Supervisor) Health() Health {
+	h := Health{
+		Status:  "ok",
+		Ready:   s.ready.Load(),
+		Verdicts: s.log.count(),
+	}
+	h.DetectorVersion, h.ClassifierVersion = s.models.Load().Versions()
+	if s.watch != nil {
+		var lastOk time.Time
+		h.Reloads, h.Rollbacks, h.ReloadError, lastOk = s.watch.snapshot()
+		if !lastOk.IsZero() {
+			h.LastReloadAt = lastOk.UTC().Format(time.RFC3339)
+		}
+	}
+	degraded := h.ReloadError != ""
+	topMode := "detector"
+	if s.models.Load().Cls != nil {
+		topMode = "classifier"
+	}
+	for _, w := range s.workers {
+		mode, cov := w.ladder.snapshot()
+		brk, _, _ := w.breaker.snapshot()
+		wh := WorkerHealth{
+			Worker:   w.name,
+			Mode:     mode.String(),
+			Breaker:  brk,
+			Coverage: cov,
+			Episodes: w.episodes.Load(),
+			Failures: w.failures.Load(),
+			Restarts: w.restarts.Load(),
+		}
+		if e := w.lastErr.Load(); e != nil {
+			wh.LastErr = *e
+		}
+		if wh.Mode != topMode || wh.Breaker != "closed" {
+			degraded = true
+		}
+		h.Workers = append(h.Workers, wh)
+	}
+	if degraded {
+		h.Status = "degraded"
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// Healthz serves the Health snapshot as JSON. It always answers 200 once
+// the process is up — liveness is "the supervisor responds", the Status
+// field carries the nuance — except while draining, which answers 503 so
+// load balancers stop routing to a terminating instance.
+func (s *Supervisor) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == "draining" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
+	})
+}
+
+// Readyz answers 200 once the initial checkpoints are loaded and the
+// workers are running, 503 before that and while draining.
+func (s *Supervisor) Readyz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if s.ready.Load() && !s.draining.Load() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("not ready\n"))
+	})
+}
+
+// Handlers returns the health routes keyed by pattern, shaped for
+// telemetry.ServeWith / telemetrycli's Extra map.
+func (s *Supervisor) Handlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/healthz": s.Healthz(),
+		"/readyz":  s.Readyz(),
+	}
+}

@@ -1,0 +1,418 @@
+// Package serve is the resilient long-running detection service around the
+// perspectron models: a supervisor runs one monitor worker per workload
+// stream, each worker scoring episodes (whole runs) through the streaming
+// Session API. Worker panics are recovered, failed episodes restart with
+// jittered exponential backoff behind a per-worker circuit breaker, model
+// checkpoints hot-reload from disk with rollback to the last good version,
+// and scoring degrades through an explicit ladder (classifier → detector →
+// threshold policy) as counter coverage drops. Liveness and model state are
+// exposed on /healthz and /readyz next to /metrics. See docs/SERVICE.md.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perspectron"
+	"perspectron/internal/retry"
+	"perspectron/internal/telemetry"
+)
+
+// Config configures a Supervisor. Zero-valued durations and floors fall
+// back to the defaults noted on each field.
+type Config struct {
+	// DetectorPath is the detector checkpoint to load and watch. Required
+	// unless Detector is set directly.
+	DetectorPath string
+	// ClassifierPath optionally adds the multi-way classifier (the top
+	// rung of the degradation ladder).
+	ClassifierPath string
+	// Detector/Classifier inject pre-loaded models (tests, embedding).
+	// When set they win over the paths for the initial load; the watcher
+	// still follows the paths.
+	Detector   *perspectron.Detector
+	Classifier *perspectron.Classifier
+
+	// Workloads is the set of monitored streams: one worker each. Required.
+	Workloads []perspectron.Workload
+	// MaxInsts bounds each episode's committed path (default 100k).
+	MaxInsts uint64
+	// Seed drives per-episode workload randomness, varied per worker and
+	// episode.
+	Seed int64
+	// MaxEpisodes stops each worker after that many completed episodes;
+	// 0 means run until the context ends (the service default).
+	MaxEpisodes int
+
+	// SampleTimeout is the per-sample deadline: a stream that stalls past
+	// it fails the episode (default 2s).
+	SampleTimeout time.Duration
+	// EpisodeTimeout bounds one whole episode (default 60s).
+	EpisodeTimeout time.Duration
+	// Backoff shapes the delay between failed episodes (default
+	// retry.DefaultPolicy with unlimited attempts — the breaker, not the
+	// policy, decides when to stop trying).
+	Backoff retry.Policy
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker (default 3); BreakerCooldown is how long it
+	// stays open before a trial episode (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// ClassifierFloor and DetectorFloor are the smoothed-coverage levels
+	// below which the ladder abandons the classifier (default 0.9) and the
+	// detector (default 0.5); Hysteresis is the climb-back margin
+	// (default 0.05).
+	ClassifierFloor float64
+	DetectorFloor   float64
+	Hysteresis      float64
+
+	// PollInterval is the checkpoint watcher's cadence (default 500ms;
+	// negative disables watching).
+	PollInterval time.Duration
+
+	// VerdictLog receives one JSON line per scored sample (nil = none).
+	VerdictLog *verdictLogWriter
+
+	// Faults optionally injects counter faults into every episode's
+	// machine — the degradation ladder's test harness.
+	Faults *perspectron.FaultConfig
+}
+
+// verdictLogWriter is the internal log type behind Config.VerdictLog.
+type verdictLogWriter = verdictLog
+
+// NewVerdictLog wraps w as a Config.VerdictLog sink (JSON lines, buffered,
+// flushed on drain).
+func NewVerdictLog(w io.Writer) *verdictLogWriter {
+	return newVerdictLog(w)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxInsts == 0 {
+		out.MaxInsts = 100_000
+	}
+	if out.SampleTimeout <= 0 {
+		out.SampleTimeout = 2 * time.Second
+	}
+	if out.EpisodeTimeout <= 0 {
+		out.EpisodeTimeout = 60 * time.Second
+	}
+	if out.Backoff == (retry.Policy{}) {
+		out.Backoff = retry.DefaultPolicy()
+	}
+	out.Backoff.MaxAttempts = 0 // the breaker owns give-up decisions
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 3
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = 5 * time.Second
+	}
+	if out.ClassifierFloor == 0 {
+		out.ClassifierFloor = 0.9
+	}
+	if out.DetectorFloor == 0 {
+		out.DetectorFloor = 0.5
+	}
+	if out.Hysteresis == 0 {
+		out.Hysteresis = 0.05
+	}
+	if out.PollInterval == 0 {
+		out.PollInterval = 500 * time.Millisecond
+	}
+	return out
+}
+
+// worker is one monitored stream's runtime state.
+type worker struct {
+	id       int
+	name     string
+	prog     perspectron.Workload
+	breaker  *breaker
+	ladder   *ladder
+	episodes atomic.Int64 // completed episodes
+	failures atomic.Int64 // failed episodes
+	restarts atomic.Int64 // goroutine restarts after a panic
+	lastErr  atomic.Pointer[string]
+}
+
+// Supervisor owns the workers, the model pointer, the checkpoint watcher
+// and the health surface. Create with New, drive with Run.
+type Supervisor struct {
+	cfg     Config
+	models  atomic.Pointer[Models]
+	watch   *watcher
+	workers []*worker
+	log     *verdictLog
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	running  atomic.Int64 // workers currently live
+}
+
+// New loads the initial models (from Config.Detector/Classifier or the
+// checkpoint paths) and prepares the supervisor. It fails fast on a missing
+// or corrupt initial checkpoint — rollback needs a last good model to roll
+// back to.
+func New(cfg Config) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("serve: no workloads to monitor")
+	}
+	det, cls := cfg.Detector, cfg.Classifier
+	if det == nil && cfg.DetectorPath != "" {
+		var err error
+		if det, err = perspectron.LoadFile(cfg.DetectorPath); err != nil {
+			return nil, fmt.Errorf("serve: initial detector checkpoint: %w", err)
+		}
+	}
+	if cls == nil && cfg.ClassifierPath != "" {
+		var err error
+		if cls, err = perspectron.LoadClassifierFile(cfg.ClassifierPath); err != nil {
+			return nil, fmt.Errorf("serve: initial classifier checkpoint: %w", err)
+		}
+	}
+	if det == nil {
+		return nil, fmt.Errorf("serve: a detector is required (DetectorPath or Detector)")
+	}
+	s := &Supervisor{cfg: cfg, log: cfg.VerdictLog}
+	s.models.Store(&Models{Det: det, Cls: cls})
+	if cfg.PollInterval > 0 && (cfg.DetectorPath != "" || cfg.ClassifierPath != "") {
+		s.watch = newWatcher(cfg.DetectorPath, cfg.ClassifierPath, &s.models, cfg.PollInterval)
+	}
+	for i, w := range cfg.Workloads {
+		s.workers = append(s.workers, &worker{
+			id:      i,
+			name:    w.Info().Name,
+			prog:    w,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			ladder:  newLadder(cfg.ClassifierFloor, cfg.DetectorFloor, cfg.Hysteresis, cls != nil),
+		})
+	}
+	return s, nil
+}
+
+// Models returns the currently served model pair (the hot-reload target).
+func (s *Supervisor) Models() *Models { return s.models.Load() }
+
+// pollNow forces one watcher tick — the deterministic path tests and the
+// drain use instead of waiting out PollInterval.
+func (s *Supervisor) pollNow() {
+	if s.watch != nil {
+		s.watch.tick()
+	}
+}
+
+// Run starts the watcher and one goroutine per worker, then blocks until
+// every worker finishes (MaxEpisodes) or ctx ends. On ctx cancellation it
+// drains: workers stop at their next sample, the verdict log flushes, and
+// Run returns with zero goroutines left behind.
+func (s *Supervisor) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var watchWg sync.WaitGroup
+	if s.watch != nil {
+		watchWg.Add(1)
+		go func() {
+			defer watchWg.Done()
+			s.watch.run(runCtx)
+		}()
+	}
+	var workerWg sync.WaitGroup
+	for _, w := range s.workers {
+		workerWg.Add(1)
+		go func(w *worker) {
+			defer workerWg.Done()
+			s.superviseWorker(runCtx, w)
+		}(w)
+	}
+	s.ready.Store(true)
+	defer s.ready.Store(false)
+
+	workersDone := make(chan struct{})
+	go func() { workerWg.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		s.draining.Store(true)
+		cancel() // stop workers at their next sample
+		<-workersDone
+	}
+	s.draining.Store(true)
+	cancel() // release the watcher
+	watchWg.Wait()
+	if err := s.log.flush(); err != nil {
+		return fmt.Errorf("serve: flushing verdict log: %w", err)
+	}
+	return ctx.Err()
+}
+
+// superviseWorker keeps one worker alive: the inner loop runs episodes with
+// breaker + backoff; a panic that escapes an episode (scoring bug, not
+// workload panic — those surface as errors) is recovered here and the loop
+// restarts.
+func (s *Supervisor) superviseWorker(ctx context.Context, w *worker) {
+	reg := telemetry.Get()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	reg.Gauge("perspectron_serve_workers_running").Add(1)
+	defer reg.Gauge("perspectron_serve_workers_running").Add(-1)
+	for ctx.Err() == nil {
+		if s.runEpisodeLoop(ctx, w) {
+			return // loop ended normally (ctx done or MaxEpisodes)
+		}
+		// A panic escaped: count the restart and re-enter the loop.
+		w.restarts.Add(1)
+		reg.Counter(telemetry.Name("perspectron_serve_worker_panics_total", "worker", w.name)).Inc()
+	}
+}
+
+// runEpisodeLoop drives episodes until ctx ends or MaxEpisodes completes,
+// reporting true on a normal exit and false when a panic unwound it.
+func (s *Supervisor) runEpisodeLoop(ctx context.Context, w *worker) (normal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprintf("worker panic: %v", r)
+			w.lastErr.Store(&msg)
+			normal = false
+		}
+	}()
+	reg := telemetry.Get()
+	bo := retry.NewBackoff(s.cfg.Backoff, s.cfg.Seed*31_337+int64(w.id))
+	episode := int(w.episodes.Load() + w.failures.Load()) // resume numbering after a panic restart
+	for ctx.Err() == nil {
+		if s.cfg.MaxEpisodes > 0 && w.episodes.Load() >= int64(s.cfg.MaxEpisodes) {
+			return true
+		}
+		if !w.breaker.allow() {
+			// Breaker open: sleep a cooldown slice, not the whole cooldown,
+			// so drain stays prompt.
+			if !sleepCtx(ctx, s.cfg.BreakerCooldown/4+time.Millisecond) {
+				return true
+			}
+			continue
+		}
+		err := s.episode(ctx, w, episode)
+		episode++
+		if err == nil {
+			w.episodes.Add(1)
+			w.breaker.success()
+			bo.Reset()
+			reg.Counter(telemetry.Name("perspectron_serve_episodes_total", "worker", w.name)).Inc()
+			continue
+		}
+		if ctx.Err() != nil {
+			return true // drain, not a failure
+		}
+		w.failures.Add(1)
+		msg := err.Error()
+		w.lastErr.Store(&msg)
+		reg.Counter(telemetry.Name("perspectron_serve_episode_failures_total", "worker", w.name)).Inc()
+		if w.breaker.failure() {
+			reg.Counter(telemetry.Name("perspectron_serve_breaker_open_total", "worker", w.name)).Inc()
+		}
+		if !retry.Sleep(ctx, "serve."+w.name, bo.Next()) {
+			return true
+		}
+	}
+	return true
+}
+
+// episode runs the workload once end to end, scoring every sample under the
+// per-sample deadline with whatever model rung the ladder selects. Workload
+// panics surface as errors through the session; a stall past SampleTimeout
+// fails the episode.
+func (s *Supervisor) episode(ctx context.Context, w *worker, episode int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("episode panic: %v", r)
+		}
+	}()
+	reg := telemetry.Get()
+	epCtx, cancel := context.WithTimeout(ctx, s.cfg.EpisodeTimeout)
+	defer cancel()
+
+	mdl := s.models.Load() // pinned for the whole episode
+	sess, err := perspectron.NewSession(epCtx, mdl.Det, mdl.Cls, perspectron.SessionConfig{
+		Workload: w.prog,
+		MaxInsts: s.cfg.MaxInsts,
+		Seed:     s.cfg.Seed + int64(w.id)*10_007 + int64(episode)*101,
+		Faults:   s.cfg.Faults,
+	})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	for {
+		sampleCtx, sampleCancel := context.WithTimeout(epCtx, s.cfg.SampleTimeout)
+		v, ok := sess.Next(sampleCtx)
+		stalled := sampleCtx.Err() == context.DeadlineExceeded
+		sampleCancel()
+		if !ok {
+			if epCtx.Err() != nil {
+				return fmt.Errorf("episode deadline: %w", epCtx.Err())
+			}
+			if stalled {
+				return fmt.Errorf("sample stalled past %s", s.cfg.SampleTimeout)
+			}
+			break // run genuinely ended
+		}
+		mode, changed := w.ladder.observe(v.Coverage)
+		if changed {
+			reg.Counter(telemetry.Name("perspectron_serve_mode_changes_total", "mode", mode.String())).Inc()
+		}
+		flagged, class := decide(mode, v, mdl)
+		if flagged {
+			reg.Counter(telemetry.Name("perspectron_serve_flagged_total", "worker", w.name)).Inc()
+		}
+		reg.Counter(telemetry.Name("perspectron_serve_verdicts_total", "mode", mode.String())).Inc()
+		s.log.record(VerdictRecord{
+			Worker:  w.name,
+			Episode: episode,
+			Sample:  v.Sample,
+			Mode:    mode.String(),
+			Score:   v.Score,
+			Class:   class,
+			Flagged: flagged,
+			Coverage: v.Coverage,
+		})
+	}
+	return sess.Err()
+}
+
+// decide maps one verdict through the active rung: the classifier names the
+// class (flagged = non-benign), the detector applies its trained threshold,
+// and the threshold rung is the bare sign test on the renormalized margin —
+// usable at any nonzero coverage.
+func decide(mode perspectron.ServeMode, v *perspectron.Verdict, mdl *Models) (flagged bool, class string) {
+	switch mode {
+	case perspectron.ModeClassifier:
+		if mdl.Cls != nil {
+			return v.Class != "benign", v.Class
+		}
+		return v.Flagged, ""
+	case perspectron.ModeThreshold:
+		return v.Score > 0, ""
+	default:
+		return v.Flagged, ""
+	}
+}
+
+// sleepCtx sleeps d or until ctx ends, reporting false on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,608 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perspectron"
+	"perspectron/internal/isa"
+	"perspectron/internal/retry"
+	"perspectron/internal/telemetry"
+	"perspectron/internal/workload"
+)
+
+// --- shared trained models (one training run for the whole package) ------
+
+var (
+	modelsOnce sync.Once
+	testDet    *perspectron.Detector
+	testCls    *perspectron.Classifier
+	modelsErr  error
+)
+
+func testModels(t *testing.T) (*perspectron.Detector, *perspectron.Classifier) {
+	t.Helper()
+	modelsOnce.Do(func() {
+		opts := perspectron.DefaultOptions()
+		opts.MaxInsts = 100_000
+		opts.Runs = 1
+		testDet, modelsErr = perspectron.Train(perspectron.TrainingWorkloads(), opts)
+		if modelsErr != nil {
+			return
+		}
+		opts.MaxInsts = 150_000
+		testCls, modelsErr = perspectron.TrainClassifier(perspectron.TrainingWorkloads(), opts)
+	})
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return testDet, testCls
+}
+
+// fastBackoff keeps supervisor tests quick and deterministic.
+func fastBackoff() retry.Policy {
+	return retry.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond, Factor: 2, Jitter: 0.1}
+}
+
+// --- synthetic workloads -------------------------------------------------
+
+// plainStream emits computational ops, ending after limit when > 0.
+type plainStream struct {
+	n     uint64
+	limit uint64
+}
+
+func (s *plainStream) Next() (isa.Op, bool) {
+	if s.limit > 0 && s.n >= s.limit {
+		return isa.Op{}, false
+	}
+	s.n++
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
+}
+
+// panicProg panics mid-stream on its first `failures` runs, then behaves —
+// the worker-panic resilience case.
+type panicProg struct {
+	failures int32
+	attempts atomic.Int32
+}
+
+func (p *panicProg) Info() workload.Info {
+	return workload.Info{Name: "panicker", Label: workload.Benign, Category: "test"}
+}
+
+func (p *panicProg) Stream(_ *rand.Rand) isa.Stream {
+	n := p.attempts.Add(1)
+	return &panicStream{panics: n <= p.failures}
+}
+
+type panicStream struct {
+	n      uint64
+	panics bool
+}
+
+func (s *panicStream) Next() (isa.Op, bool) {
+	s.n++
+	if s.panics && s.n > 5_000 {
+		panic("workload bug")
+	}
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
+}
+
+// stallProg delivers ops briskly until stallAfter, then crawls (delay per
+// op) for stallOps more ops and ends. The self-termination bound matters:
+// the producer goroutine only notices cancellation between ops, so an
+// unbounded stall would outlive the test.
+type stallProg struct {
+	stallAfter uint64
+	delay      time.Duration
+	stallOps   uint64
+}
+
+func (p *stallProg) Info() workload.Info {
+	return workload.Info{Name: "staller", Label: workload.Benign, Category: "test"}
+}
+
+func (p *stallProg) Stream(_ *rand.Rand) isa.Stream {
+	return &stallStream{p: p}
+}
+
+type stallStream struct {
+	p *stallProg
+	n uint64
+}
+
+func (s *stallStream) Next() (isa.Op, bool) {
+	s.n++
+	if s.n > s.p.stallAfter {
+		if s.n > s.p.stallAfter+s.p.stallOps {
+			return isa.Op{}, false
+		}
+		time.Sleep(s.p.delay)
+	}
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
+}
+
+// --- unit tests ----------------------------------------------------------
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Minute)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if opened := b.failure(); opened {
+			t.Fatalf("breaker opened after %d failures, threshold 3", i+1)
+		}
+		if !b.allow() {
+			t.Fatalf("closed breaker refused an episode")
+		}
+	}
+	if !b.failure() {
+		t.Fatalf("third failure did not open the breaker")
+	}
+	if b.allow() {
+		t.Fatalf("open breaker admitted an episode before cooldown")
+	}
+	now = now.Add(time.Minute) // cooldown elapsed → half-open trial
+	if !b.allow() {
+		t.Fatalf("cooled-down breaker refused the trial episode")
+	}
+	if !b.failure() { // failed trial re-opens immediately
+		t.Fatalf("failed half-open trial did not re-open")
+	}
+	now = now.Add(time.Minute)
+	if !b.allow() {
+		t.Fatalf("second trial refused")
+	}
+	b.success()
+	state, failures, trips := b.snapshot()
+	if state != "closed" || failures != 0 || trips != 2 {
+		t.Fatalf("after success: state=%s failures=%d trips=%d, want closed/0/2", state, failures, trips)
+	}
+}
+
+func TestLadderWalksDownAndClimbsBack(t *testing.T) {
+	l := newLadder(0.9, 0.5, 0.05, true)
+	if mode, _ := l.observe(1.0); mode != perspectron.ModeClassifier {
+		t.Fatalf("full coverage mode = %s, want classifier", mode)
+	}
+	// Sustained partial coverage: classifier floor breaks first...
+	var mode perspectron.ServeMode
+	for i := 0; i < 20; i++ {
+		mode, _ = l.observe(0.7)
+	}
+	if mode != perspectron.ModeDetector {
+		t.Fatalf("EWMA 0.7 mode = %s, want detector", mode)
+	}
+	// ...then the detector floor.
+	for i := 0; i < 20; i++ {
+		mode, _ = l.observe(0.3)
+	}
+	if mode != perspectron.ModeThreshold {
+		t.Fatalf("EWMA 0.3 mode = %s, want threshold", mode)
+	}
+	// Climb back is one rung per observation past floor+hysteresis.
+	for i := 0; i < 50 && mode != perspectron.ModeClassifier; i++ {
+		mode, _ = l.observe(1.0)
+	}
+	if mode != perspectron.ModeClassifier {
+		t.Fatalf("full coverage never climbed back to classifier (mode=%s)", mode)
+	}
+	// Without a classifier the top rung is the detector.
+	l2 := newLadder(0.9, 0.5, 0.05, false)
+	if mode, _ := l2.observe(1.0); mode != perspectron.ModeDetector {
+		t.Fatalf("detector-only ladder mode = %s, want detector", mode)
+	}
+}
+
+func TestLadderHysteresisPreventsFlapping(t *testing.T) {
+	l := newLadder(0.9, 0.5, 0.05, true)
+	for i := 0; i < 30; i++ {
+		l.observe(0.85) // below the classifier floor
+	}
+	// Hovering just above the floor but inside the hysteresis band must not
+	// climb back.
+	changes := 0
+	for i := 0; i < 30; i++ {
+		if _, changed := l.observe(0.92); changed {
+			changes++
+		}
+	}
+	if changes != 0 {
+		t.Fatalf("ladder flapped %d times inside the hysteresis band", changes)
+	}
+	if mode, _ := l.snapshot(); mode != perspectron.ModeDetector {
+		t.Fatalf("mode = %s, want detector held by hysteresis", mode)
+	}
+}
+
+func TestVerdictLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := newVerdictLog(&buf)
+	l.record(VerdictRecord{Worker: "w", Episode: 1, Sample: 2, Mode: "detector", Score: 0.5, Flagged: true, Coverage: 1})
+	l.record(VerdictRecord{Worker: "w", Episode: 1, Sample: 3, Mode: "threshold", Score: -0.1, Coverage: 0.4})
+	if err := l.flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || l.count() != 2 {
+		t.Fatalf("wrote %d lines, counted %d, want 2/2", len(lines), l.count())
+	}
+	var rec VerdictRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Mode != "detector" || !rec.Flagged {
+		t.Fatalf("round trip lost fields: %+v", rec)
+	}
+	// Nil log: all operations are no-ops.
+	var nilLog *verdictLog
+	nilLog.record(VerdictRecord{})
+	if nilLog.flush() != nil || nilLog.count() != 0 {
+		t.Fatalf("nil verdict log misbehaved")
+	}
+}
+
+// --- service tests -------------------------------------------------------
+
+func TestServiceScoresAndLogsVerdicts(t *testing.T) {
+	det, cls := testModels(t)
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Detector:    det,
+		Classifier:  cls,
+		Workloads:   []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		MaxInsts:    60_000,
+		MaxEpisodes: 2,
+		Backoff:     fastBackoff(),
+		VerdictLog:  NewVerdictLog(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h := s.Health()
+	if len(h.Workers) != 1 || h.Workers[0].Episodes != 2 {
+		t.Fatalf("health = %+v, want 2 completed episodes", h.Workers)
+	}
+	if h.Workers[0].Mode != "classifier" {
+		t.Fatalf("clean run degraded to %s", h.Workers[0].Mode)
+	}
+	flagged := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec VerdictRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad verdict line %q: %v", line, err)
+		}
+		if rec.Flagged {
+			flagged++
+		}
+	}
+	if flagged == 0 {
+		t.Fatalf("spectreV1 produced no flagged verdicts")
+	}
+}
+
+func TestServiceSurvivesWorkloadPanics(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	det, _ := testModels(t)
+	prog := &panicProg{failures: 2}
+	s, err := New(Config{
+		Detector:         det,
+		Workloads:        []perspectron.Workload{prog},
+		MaxInsts:         30_000,
+		MaxEpisodes:      1,
+		Backoff:          fastBackoff(),
+		BreakerThreshold: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h := s.Health()
+	if h.Workers[0].Episodes != 1 || h.Workers[0].Failures != 2 {
+		t.Fatalf("worker health = %+v, want 1 episode after 2 panicked attempts", h.Workers[0])
+	}
+	fails := reg.CounterValue(telemetry.Name("perspectron_serve_episode_failures_total", "worker", "panicker"))
+	if fails != 2 {
+		t.Fatalf("failure counter = %d, want 2", fails)
+	}
+	if !strings.Contains(h.Workers[0].LastErr, "panicked") {
+		t.Fatalf("last error %q does not surface the panic", h.Workers[0].LastErr)
+	}
+}
+
+func TestServiceStalledSourceHitsDeadlineAndBreaker(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	det, _ := testModels(t)
+	// Stalls forever (from the deadline's point of view) but self-terminates
+	// so producer goroutines can be reclaimed.
+	prog := &stallProg{stallAfter: 2_000, delay: 10 * time.Millisecond, stallOps: 40}
+	s, err := New(Config{
+		Detector:         det,
+		Workloads:        []perspectron.Workload{prog},
+		MaxInsts:         1 << 40, // only the stall machinery ends a run
+		MaxEpisodes:      1,
+		SampleTimeout:    80 * time.Millisecond,
+		Backoff:          fastBackoff(),
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker can never complete an episode; run until the breaker has
+	// tripped at least once, then drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	deadline := time.After(25 * time.Second)
+	for {
+		if reg.CounterValue(telemetry.Name("perspectron_serve_breaker_open_total", "worker", "staller")) >= 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("breaker never opened; failures=%d",
+				reg.CounterValue(telemetry.Name("perspectron_serve_episode_failures_total", "worker", "staller")))
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("drained run returned %v, want context.Canceled", err)
+	}
+	h := s.Health()
+	if h.Workers[0].Failures < 2 {
+		t.Fatalf("stalled worker recorded %d failures, want >= 2", h.Workers[0].Failures)
+	}
+	if !strings.Contains(h.Workers[0].LastErr, "stalled") && !strings.Contains(h.Workers[0].LastErr, "deadline") {
+		t.Fatalf("last error %q does not mention the stall", h.Workers[0].LastErr)
+	}
+}
+
+func TestServiceDegradesUnderFaults(t *testing.T) {
+	det, cls := testModels(t)
+	s, err := New(Config{
+		Detector:    det,
+		Classifier:  cls,
+		Workloads:   []perspectron.Workload{perspectron.AttackByName("flush+reload", "")},
+		MaxInsts:    60_000,
+		MaxEpisodes: 2,
+		Backoff:     fastBackoff(),
+		Faults:      &perspectron.FaultConfig{Seed: 7, Dropout: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h := s.Health()
+	w := h.Workers[0]
+	if w.Mode != "detector" {
+		t.Fatalf("25%% dropout left mode %s, want detector (coverage %.3f)", w.Mode, w.Coverage)
+	}
+	if w.Coverage < 0.6 || w.Coverage > 0.9 {
+		t.Fatalf("smoothed coverage %.3f, want ~0.75", w.Coverage)
+	}
+	if h.Status != "degraded" && h.Status != "draining" {
+		t.Fatalf("status = %q, want degraded", h.Status)
+	}
+}
+
+func TestServiceHotReloadAndRollback(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	det, _ := testModels(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "det.json")
+	if err := det.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		DetectorPath: path,
+		Workloads:    []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		MaxInsts:     30_000,
+		MaxEpisodes:  1,
+		Backoff:      fastBackoff(),
+		PollInterval: time.Hour, // ticks driven manually via pollNow
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.Models().Det.Version()
+
+	// A good new checkpoint hot-swaps in.
+	mod := *det
+	mod.Threshold = det.Threshold + 0.05
+	time.Sleep(10 * time.Millisecond) // ensure a distinct mtime
+	if err := mod.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s.pollNow()
+	v2 := s.Models().Det.Version()
+	if v2 == v1 {
+		t.Fatalf("good checkpoint did not swap in")
+	}
+	if got := reg.CounterValue(telemetry.Name("perspectron_serve_reloads_total", "result", "ok")); got != 1 {
+		t.Fatalf("ok-reload counter = %d, want 1", got)
+	}
+
+	// A corrupt checkpoint (bit-flipped value, checksum intact) rolls back:
+	// the last good model stays live and the failure is surfaced.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(raw), `"threshold"`, `"threshol_"`, 1)
+	time.Sleep(10 * time.Millisecond)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.pollNow()
+	if got := s.Models().Det.Version(); got != v2 {
+		t.Fatalf("corrupt checkpoint changed the live model: %s -> %s", v2, got)
+	}
+	if got := reg.CounterValue(telemetry.Name("perspectron_serve_reloads_total", "result", "rollback")); got != 1 {
+		t.Fatalf("rollback counter = %d, want 1", got)
+	}
+	h := s.Health()
+	if h.Rollbacks != 1 || h.ReloadError == "" {
+		t.Fatalf("health rollbacks=%d error=%q, want the rollback surfaced", h.Rollbacks, h.ReloadError)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded after a rollback", h.Status)
+	}
+
+	// A subsequent good write recovers.
+	time.Sleep(10 * time.Millisecond)
+	if err := det.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s.pollNow()
+	if got := s.Models().Det.Version(); got != v1 {
+		t.Fatalf("recovery write not picked up: %s, want %s", got, v1)
+	}
+	if h := s.Health(); h.ReloadError != "" {
+		t.Fatalf("reload error %q survived recovery", h.ReloadError)
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	det, _ := testModels(t)
+	s, err := New(Config{
+		Detector:    det,
+		Workloads:   []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		MaxInsts:    30_000,
+		MaxEpisodes: 1,
+		Backoff:     fastBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before Run: alive but not ready.
+	rr := httptest.NewRecorder()
+	s.Readyz().ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("readyz before Run = %d, want 503", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	s.Healthz().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("healthz = %d, want 200", rr.Code)
+	}
+	var h Health
+	if err := json.Unmarshal(rr.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.DetectorVersion != det.Version() || len(h.Workers) != 1 {
+		t.Fatalf("healthz body = %+v", h)
+	}
+	if hs := s.Handlers(); hs["/healthz"] == nil || hs["/readyz"] == nil {
+		t.Fatalf("Handlers() missing routes: %v", hs)
+	}
+	// After a completed run: drained, not ready.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	s.Readyz().ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("readyz after drain = %d, want 503", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	s.Healthz().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 503 {
+		t.Fatalf("healthz while draining = %d, want 503", rr.Code)
+	}
+}
+
+// TestShutdownLeavesNoGoroutines is the leak gate: a service that ran
+// workers, suffered stalls and was drained must return the process to its
+// pre-Run goroutine count.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	det, cls := testModels(t)
+	before := runtime.NumGoroutine()
+	s, err := New(Config{
+		Detector:   det,
+		Classifier: cls,
+		Workloads: []perspectron.Workload{
+			perspectron.AttackByName("spectreV1", "fr"),
+			&stallProg{stallAfter: 2_000, delay: 10 * time.Millisecond, stallOps: 40},
+		},
+		MaxInsts:      40_000,
+		MaxEpisodes:   0, // run until drained
+		SampleTimeout: 60 * time.Millisecond,
+		Backoff:       fastBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	time.Sleep(2 * time.Second) // let episodes, stalls and restarts happen
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("drained run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("drain did not complete")
+	}
+	// Producers unwind within their next op batch; give them a moment.
+	deadline := time.After(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		select {
+		case <-deadline:
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after drain\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	det, _ := testModels(t)
+	if _, err := New(Config{Detector: det}); err == nil {
+		t.Fatalf("workload-less config accepted")
+	}
+	if _, err := New(Config{Workloads: []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")}}); err == nil {
+		t.Fatalf("detector-less config accepted")
+	}
+	if _, err := New(Config{
+		DetectorPath: filepath.Join(t.TempDir(), "missing.json"),
+		Workloads:    []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+	}); err == nil {
+		t.Fatalf("missing initial checkpoint accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// VerdictRecord is one scored sampling interval as it appears in the
+// verdict log (JSON lines).
+type VerdictRecord struct {
+	Worker  string  `json:"worker"`
+	Episode int     `json:"episode"`
+	Sample  int     `json:"sample"`
+	Mode    string  `json:"mode"`
+	Score   float64 `json:"score"`
+	Class   string  `json:"class,omitempty"`
+	Flagged bool    `json:"flagged"`
+	// Coverage is the raw per-sample feature coverage (the ladder smooths
+	// its own copy).
+	Coverage float64 `json:"coverage"`
+}
+
+// verdictLog serializes verdict records from all workers onto one buffered
+// JSONL writer. flush is called on drain (SIGTERM) so a terminated service
+// never loses buffered verdicts.
+type verdictLog struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+func newVerdictLog(w io.Writer) *verdictLog {
+	if w == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	return &verdictLog{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// record appends one verdict line. Nil receivers (no log configured) are
+// no-ops, mirroring the telemetry instruments.
+func (l *verdictLog) record(v VerdictRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.enc.Encode(v)
+	l.n++
+	l.mu.Unlock()
+}
+
+// flush drains the buffer to the underlying writer.
+func (l *verdictLog) flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bw.Flush()
+}
+
+// count returns the number of records written, for health reporting.
+func (l *verdictLog) count() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

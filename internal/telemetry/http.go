@@ -16,7 +16,12 @@ import (
 // Mounting pprof next to the metrics means a long experiments run can be
 // profiled with `go tool pprof http://addr/debug/pprof/profile` without any
 // extra wiring (docs/OBSERVABILITY.md).
-func (r *Registry) Handler() http.Handler {
+func (r *Registry) Handler() http.Handler { return r.HandlerWith(nil) }
+
+// HandlerWith is Handler with additional routes mounted on the same mux —
+// the serving runtime mounts /healthz and /readyz next to /metrics so one
+// scrape address covers liveness, readiness and metrics.
+func (r *Registry) HandlerWith(extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,6 +38,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -40,11 +48,17 @@ func (r *Registry) Handler() http.Handler {
 // ":9464"; ":0" picks a free port). It returns the running server — shut it
 // down with Server.Shutdown/Close — and the bound address.
 func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve over HandlerWith: the metrics server with extra routes
+// (health endpoints) mounted.
+func ServeWith(addr string, r *Registry, extra map[string]http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: r.Handler()}
+	srv := &http.Server{Handler: r.HandlerWith(extra)}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

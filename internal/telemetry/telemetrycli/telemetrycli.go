@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -21,6 +22,11 @@ type Options struct {
 	Addr     string
 	TraceOut string
 	Hold     time.Duration
+
+	// Extra routes are mounted on the metrics server next to /metrics —
+	// set programmatically (not a flag) before Start; the serve subcommand
+	// adds /healthz and /readyz here.
+	Extra map[string]http.Handler
 }
 
 // Register installs the telemetry flags on fs and returns the value holder.
@@ -61,7 +67,7 @@ func (o *Options) Start() (stop func(), err error) {
 		})
 	}
 	if o.Addr != "" {
-		srv, addr, err := telemetry.Serve(o.Addr, reg)
+		srv, addr, err := telemetry.ServeWith(o.Addr, reg, o.Extra)
 		if err != nil {
 			for _, c := range closers {
 				c()

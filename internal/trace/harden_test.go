@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"perspectron/internal/isa"
+	"perspectron/internal/sim"
+	"perspectron/internal/telemetry"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/benign"
 )
@@ -139,6 +141,95 @@ func TestCollectCtxCancelStopsScheduling(t *testing.T) {
 	if len(ds.Dropped) != 4 {
 		t.Fatalf("dropped %d runs, want all 4: %v", len(ds.Dropped), ds.Dropped)
 	}
+}
+
+// TestCollectRetryRecordsBackoffTelemetry pins the shared retry helper's
+// accounting: a collection that retries must show up under op="collect" in
+// the attempt counter and the backoff-sleep histogram.
+func TestCollectRetryRecordsBackoffTelemetry(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	attemptSeries := telemetry.Name("perspectron_retry_attempts_total", "op", "collect")
+	before := reg.CounterValue(attemptSeries)
+
+	var attempts int32
+	progs := []workload.Program{&panicProg{after: 5_000, failures: 1, attempts: &attempts}}
+	cfg := CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1, Retries: 2}
+	ds := Collect(progs, cfg)
+	if ds.Retried != 1 {
+		t.Fatalf("Retried = %d, want 1", ds.Retried)
+	}
+	if got := reg.CounterValue(attemptSeries); got != before+2 {
+		t.Fatalf("retry attempt counter advanced by %d, want 2", got-before)
+	}
+	h := reg.Histogram(telemetry.Name("perspectron_retry_backoff_seconds", "op", "collect"),
+		telemetry.DurationBuckets)
+	if h.Count() == 0 {
+		t.Fatalf("no backoff sleep recorded")
+	}
+}
+
+func TestRunSourceNextCtxDeadline(t *testing.T) {
+	m := sim.NewMachine(sim.DefaultConfig())
+	// A stream that produces one interval quickly, then stalls far longer
+	// than the per-sample deadline (and ends itself after the stall window,
+	// so the producer goroutine is reclaimed promptly).
+	src := NewRunSource(context.Background(), m, &stallProg{stallAfter: 15_000, delay: 10 * time.Millisecond, stallOps: 60},
+		0, 1, CollectConfig{MaxInsts: 1 << 40, Interval: 10_000})
+	defer src.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	s, ok := src.NextCtx(ctx)
+	cancel()
+	if !ok || s == nil {
+		t.Fatalf("first sample not delivered before the stall")
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := src.NextCtx(ctx); ok {
+		t.Fatalf("stalled source delivered a sample inside the deadline")
+	}
+	if ctx.Err() == nil {
+		t.Fatalf("NextCtx returned false without a context error on a live run")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("NextCtx did not honor the per-sample deadline")
+	}
+}
+
+// stallProg streams plain ops, then sleeps `delay` per op after stallAfter
+// ops — a pathologically slow sample source. After stallOps stalled ops the
+// stream ends, bounding how long a stuck producer goroutine lingers.
+type stallProg struct {
+	stallAfter uint64
+	delay      time.Duration
+	stallOps   uint64
+}
+
+func (p *stallProg) Info() workload.Info {
+	return workload.Info{Name: "staller", Label: workload.Benign, Category: "test"}
+}
+
+func (p *stallProg) Stream(_ *rand.Rand) isa.Stream {
+	return &stallStream{after: p.stallAfter, delay: p.delay, stallOps: p.stallOps}
+}
+
+type stallStream struct {
+	n        uint64
+	after    uint64
+	delay    time.Duration
+	stallOps uint64
+}
+
+func (s *stallStream) Next() (isa.Op, bool) {
+	s.n++
+	if s.n > s.after {
+		if s.n > s.after+s.stallOps {
+			return isa.Op{}, false
+		}
+		time.Sleep(s.delay)
+	}
+	return isa.Op{Kind: isa.KindPlain, Class: isa.IntAlu, PC: 0x4000 + 4*s.n}, true
 }
 
 func TestFilterCarriesDropped(t *testing.T) {

@@ -100,6 +100,24 @@ func (s *RunSource) Next() (*Sample, bool) {
 	return smp, ok
 }
 
+// NextCtx is Next bounded by ctx: it gives up and returns (nil, false) when
+// ctx ends before the next sample arrives — the serving runtime's per-sample
+// deadline. The underlying run keeps producing; a caller that abandons the
+// source after a deadline must Close it to release the producer. Distinguish
+// the outcomes by ctx.Err(): nil means the run genuinely ended.
+func (s *RunSource) NextCtx(ctx context.Context) (*Sample, bool) {
+	select {
+	case smp, ok := <-s.ch:
+		if ok {
+			s.n++
+			s.produced.Inc()
+		}
+		return smp, ok
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
 // Close stops the underlying run at its next instruction fetch and releases
 // the producer goroutine. Safe to call more than once and concurrently with
 // Next.

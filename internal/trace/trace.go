@@ -14,6 +14,7 @@ import (
 
 	"perspectron/internal/encoding"
 	"perspectron/internal/isa"
+	"perspectron/internal/retry"
 	"perspectron/internal/sim"
 	"perspectron/internal/stats"
 	"perspectron/internal/telemetry"
@@ -106,7 +107,18 @@ type CollectConfig struct {
 	// whole training job. Runs that still fail are recorded in
 	// Dataset.Dropped.
 	Retries int
+	// Backoff shapes the sleep between retry attempts (the shared
+	// internal/retry jittered-exponential helper; sequences are seeded from
+	// cfg.Seed, so a fixed config replays the same schedule). The zero value
+	// uses collectBackoff, a millisecond-scale policy that keeps retried
+	// collections fast. Backoff.MaxAttempts is ignored — Retries governs.
+	Backoff retry.Policy
 }
+
+// collectBackoff is the default retry pacing for panicked collection runs:
+// short, capped sleeps so a transient data-dependent fault is re-rolled
+// almost immediately while correlated failures still spread out.
+var collectBackoff = retry.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Factor: 2, Jitter: 0.5}
 
 // DefaultCollectConfig mirrors the paper's densest setting at a laptop-
 // friendly run length.
@@ -174,25 +186,29 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 					continue
 				}
 				var out []Sample
-				var err error
 				var start time.Time
 				if reg != nil {
 					start = time.Now()
 				}
-				for attempt := 0; attempt <= cfg.Retries; attempt++ {
-					// Attempt 0 reproduces the historical seed schedule
-					// exactly; retries shift it so a data-dependent panic is
-					// not replayed verbatim.
-					if attempt > 0 {
-						mu.Lock()
-						retried++
-						mu.Unlock()
-					}
-					seed := cfg.Seed*1_000_003 + int64(ji)*7919 + int64(attempt)*104_729
-					out, err = collectOne(ctx, j.prog, j.run, seed, cfg)
-					if err == nil {
-						break
-					}
+				pol := cfg.Backoff
+				if pol == (retry.Policy{}) {
+					pol = collectBackoff
+				}
+				pol.MaxAttempts = cfg.Retries + 1
+				attempts, err := retry.Do(ctx, "collect", pol, cfg.Seed*1_000_003+int64(ji),
+					func(attempt int) error {
+						// Attempt 0 reproduces the historical seed schedule
+						// exactly; retries shift it so a data-dependent panic
+						// is not replayed verbatim.
+						seed := cfg.Seed*1_000_003 + int64(ji)*7919 + int64(attempt)*104_729
+						var aerr error
+						out, aerr = collectOne(ctx, j.prog, j.run, seed, cfg)
+						return aerr
+					})
+				if attempts > 1 {
+					mu.Lock()
+					retried += attempts - 1
+					mu.Unlock()
 				}
 				if reg != nil {
 					name := telemetry.Name("perspectron_collect_run_seconds",

@@ -146,6 +146,14 @@ func DefaultOptions() Options {
 // all embedded, so it can be serialized (Save/Load) like the vendor weight
 // patches of the paper's §IV-G1.
 type Detector struct {
+	// Checksum is the SHA-256 self-checksum Save embeds ("sha256:<hex>",
+	// computed over the canonical JSON with this field empty). Load verifies
+	// it, so a truncated or bit-flipped checkpoint fails loudly; files
+	// written before checksumming existed load with a warning. The first 12
+	// hex digits double as the checkpoint's content version for the serving
+	// runtime's hot-reload path.
+	Checksum string `json:"checksum,omitempty"`
+
 	FeatureNames []string    `json:"feature_names"`
 	Weights      []float64   `json:"weights"`
 	Bias         float64     `json:"bias"`
@@ -256,14 +264,7 @@ func (d *Detector) Hardware() perceptron.HardwareModel {
 // which none of the detector's counters exist.
 func (d *Detector) resolve(m *sim.Machine) (int, error) {
 	if d.indices == nil || len(d.indices) != len(d.FeatureNames) {
-		d.indices = make([]int, len(d.FeatureNames))
-		for i, name := range d.FeatureNames {
-			if c, ok := m.Reg.Lookup(name); ok {
-				d.indices[i] = c.Index()
-			} else {
-				d.indices[i] = -1
-			}
-		}
+		d.indices, _ = resolveNames(d.FeatureNames, m)
 	}
 	resolved := 0
 	for _, j := range d.indices {
@@ -293,7 +294,15 @@ func (d *Detector) encoding() *encoding.Encoding {
 // subset shrinks numerator and denominator together and the normalized
 // confidence degrades gracefully instead of collapsing.
 func (d *Detector) scoreSample(raw []float64, point int) (score float64, avail int) {
-	bits, avail := d.encoding().Bits(raw, d.indices, point, nil)
+	return d.scoreWith(raw, point, d.indices)
+}
+
+// scoreWith is scoreSample over caller-supplied counter indices instead of
+// the detector's cached ones. It reads the detector but never writes it, so
+// concurrent sessions (internal/serve workers) can score against one shared
+// model with their own per-machine index slices.
+func (d *Detector) scoreWith(raw []float64, point int, indices []int) (score float64, avail int) {
+	bits, avail := d.encoding().Bits(raw, indices, point, nil)
 	return encoding.Margin(d.Bias, d.Weights, bits), avail
 }
 
@@ -336,7 +345,14 @@ type Report struct {
 // machine with the detector attached, scoring every sampling interval. seed
 // drives the workload's data-dependent behaviour.
 func (d *Detector) Monitor(w Workload, maxInsts uint64, seed int64) (*Report, error) {
-	return d.monitor(w, maxInsts, seed, nil)
+	return d.monitor(context.Background(), w, maxInsts, seed, nil)
+}
+
+// MonitorCtx is Monitor bounded by ctx: cancellation or a deadline ends the
+// run early and surfaces as the context's error. This is the deadline every
+// stage of the serving runtime puts on its scoring work.
+func (d *Detector) MonitorCtx(ctx context.Context, w Workload, maxInsts uint64, seed int64) (*Report, error) {
+	return d.monitor(ctx, w, maxInsts, seed, nil)
 }
 
 // FaultConfig selects deterministic counter-level faults for MonitorFaulty.
@@ -401,7 +417,7 @@ func (c FaultConfig) schedule(m *sim.Machine) (*faults.Schedule, error) {
 // detector runs in degraded mode over whatever signal survives; the report's
 // Degraded and Coverage fields quantify the loss.
 func (d *Detector) MonitorFaulty(w Workload, maxInsts uint64, seed int64, fc FaultConfig) (*Report, error) {
-	return d.monitor(w, maxInsts, seed, func(m *sim.Machine) error {
+	return d.monitor(context.Background(), w, maxInsts, seed, func(m *sim.Machine) error {
 		sched, err := fc.schedule(m)
 		if err != nil {
 			return err
@@ -413,7 +429,7 @@ func (d *Detector) MonitorFaulty(w Workload, maxInsts uint64, seed int64, fc Fau
 	})
 }
 
-func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Report, error) {
+func (d *Detector) monitor(ctx context.Context, w Workload, maxInsts uint64, seed int64, inject func(*sim.Machine) error) (*Report, error) {
 	m := sim.NewMachine(sim.DefaultConfig())
 	resolved, err := d.resolve(m)
 	if err != nil {
@@ -454,10 +470,11 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 	// Stream the run through the same SampleSource batch collection drains,
 	// scoring each sampling interval as it arrives — the online serving path
 	// shares the per-sample machinery with Collect by construction.
-	src := trace.NewRunSource(context.Background(), m, w, 0, seed,
+	src := trace.NewRunSource(ctx, m, w, 0, seed,
 		trace.CollectConfig{MaxInsts: maxInsts, Interval: d.Interval})
+	defer src.Close()
 	for {
-		s, ok := src.Next()
+		s, ok := src.NextCtx(ctx)
 		if !ok {
 			break
 		}
@@ -490,6 +507,9 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 		}
 	}
 	span.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("perspectron: monitoring %s: %w", info.Name, err)
+	}
 	if err := src.Err(); err != nil {
 		return nil, fmt.Errorf("perspectron: monitoring %s: %w", info.Name, err)
 	}
@@ -521,21 +541,41 @@ func (d *Detector) monitor(w Workload, maxInsts uint64, seed int64, inject func(
 }
 
 // Save serializes the detector as JSON (the paper's vendor-distributable
-// weight patch).
+// weight patch), with an embedded SHA-256 self-checksum so a truncated or
+// bit-flipped checkpoint is rejected at Load instead of silently mis-scoring.
 func (d *Detector) Save(w io.Writer) error {
+	c := *d
+	c.Checksum = ""
+	sum, err := checksumJSON(&c)
+	if err != nil {
+		return fmt.Errorf("perspectron: encoding detector: %w", err)
+	}
+	c.Checksum = sum
+	d.Checksum = sum // the in-memory detector adopts its content version
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(d)
+	return enc.Encode(&c)
 }
 
-// Load reads a detector written by Save. It is a strict validator: a
-// detector that decodes but carries non-finite weights, inconsistent
-// normalization-matrix widths or a non-positive sampling interval is
-// rejected here rather than misbehaving later in scoring.
+// Load reads a detector written by Save. The embedded checksum is verified
+// first — a mismatch fails with a "checkpoint corrupt" error; legacy
+// checksum-less files are accepted with a warning (and the computed checksum
+// adopted). Load is then a strict validator: a detector that decodes but
+// carries non-finite weights, inconsistent normalization-matrix widths or a
+// non-positive sampling interval is rejected here rather than misbehaving
+// later in scoring.
 func Load(r io.Reader) (*Detector, error) {
 	var d Detector
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("perspectron: decoding detector: %w", err)
+	}
+	c := d
+	c.Checksum = ""
+	if err := verifyChecksum("detector", d.Checksum, &c); err != nil {
+		return nil, err
+	}
+	if d.Checksum == "" {
+		d.Checksum, _ = checksumJSON(&c) // adopt the content version
 	}
 	if err := d.validate(); err != nil {
 		return nil, fmt.Errorf("perspectron: corrupt detector: %w", err)

@@ -40,6 +40,41 @@ func (m Mitigation) String() string {
 	return "none"
 }
 
+// ServeMode identifies which scoring model a serving worker is using — the
+// rungs of the graceful-degradation ladder the long-running service
+// (internal/serve) walks as counter coverage drops. The ladder goes
+// classifier → detector → threshold: the multi-way classifier needs the
+// widest counter space, the binary detector only its 106 selected features,
+// and the threshold policy just a sign on whatever margin survives.
+type ServeMode int
+
+const (
+	// ModeClassifier scores with the multi-way classifier: full counter
+	// space, names the attack category for targeted mitigation.
+	ModeClassifier ServeMode = iota
+	// ModeDetector scores with the binary detector on the selected
+	// features — the first degradation rung when classifier coverage
+	// drops below its floor.
+	ModeDetector
+	// ModeThreshold is the last resort: a bare sign test on the
+	// renormalized detector margin, usable at any nonzero coverage.
+	ModeThreshold
+)
+
+// String names the serve mode as it appears in telemetry series and
+// /healthz.
+func (m ServeMode) String() string {
+	switch m {
+	case ModeClassifier:
+		return "classifier"
+	case ModeDetector:
+		return "detector"
+	case ModeThreshold:
+		return "threshold"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
 // Policy decides, per sampling interval, which mitigations to run given the
 // detector's confidence score. It is the paper's deployment model: the
 // low-level detector raises information; the policy escalates gradually

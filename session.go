@@ -1,0 +1,189 @@
+package perspectron
+
+// Streaming scoring sessions: the serving runtime's unit of work. Monitor
+// and Classify own their whole run loop; a Session hands control back after
+// every sampling interval, so a long-running service (internal/serve) can
+// apply per-sample deadlines, walk the degradation ladder mid-run, and shut
+// down promptly. Sessions carry their own resolved counter indices — the
+// Detector/Classifier they score with is never mutated — so any number of
+// concurrent Sessions can share one immutable model, and a hot-reload can
+// swap the model under new Sessions while old ones finish on the previous
+// version.
+
+import (
+	"context"
+	"fmt"
+
+	"perspectron/internal/sim"
+	"perspectron/internal/trace"
+)
+
+// resolveNames maps feature names onto counter indices for machine m without
+// touching any model state: counters absent from the machine resolve to -1
+// and are masked during scoring. It is the pure core of Detector.resolve and
+// Classifier.resolve, shared with Session so scoring stays lock-free under
+// concurrency.
+func resolveNames(names []string, m *sim.Machine) (indices []int, resolved int) {
+	indices = make([]int, len(names))
+	for i, name := range names {
+		if c, ok := m.Reg.Lookup(name); ok {
+			indices[i] = c.Index()
+			resolved++
+		} else {
+			indices[i] = -1
+		}
+	}
+	return indices, resolved
+}
+
+// SessionConfig configures one streaming scoring session.
+type SessionConfig struct {
+	// Workload is the program to run. Required.
+	Workload Workload
+	// MaxInsts bounds the run's committed-path length; 0 means the
+	// workload's natural end.
+	MaxInsts uint64
+	// Seed drives the workload's data-dependent behaviour.
+	Seed int64
+	// Faults optionally injects counter-level faults (see FaultConfig);
+	// nil runs clean.
+	Faults *FaultConfig
+}
+
+// Verdict is one sampling interval's combined scoring outcome.
+type Verdict struct {
+	// Sample is the sampling-interval index within the run.
+	Sample int
+	// Insts is the committed-instruction count at the sample.
+	Insts uint64
+	// Score is the detector's normalized output; Flagged is the threshold
+	// cut. Zero-valued when the session has no detector.
+	Score   float64
+	Flagged bool
+	// Class is the classifier's per-interval argmax ("" without a
+	// classifier); ClassScore its normalized margin.
+	Class      string
+	ClassScore float64
+	// Coverage is the fraction (0..1] of the primary model's features
+	// observable at this sample — the degradation ladder's input signal.
+	Coverage float64
+}
+
+// Session streams one workload run through a detector and/or classifier,
+// one sampling interval at a time. Create with NewSession, pull verdicts
+// with Next, and Close when done (Close is mandatory on early abandonment —
+// it releases the producer goroutine).
+type Session struct {
+	det    *Detector
+	cls    *Classifier
+	detIdx []int
+	clsIdx []int
+	src    *trace.RunSource
+	m      *sim.Machine
+
+	interval uint64
+	nf       int // primary model's feature width, for Coverage
+}
+
+// NewSession starts a streaming session for cfg.Workload. Either model may
+// be nil, but not both; when both are present the detector's sampling
+// interval drives the run and the classifier votes on the same raw deltas.
+// ctx bounds the whole run (the producer observes it between instruction
+// blocks); per-sample deadlines go to Next instead.
+func NewSession(ctx context.Context, det *Detector, cls *Classifier, cfg SessionConfig) (*Session, error) {
+	if det == nil && cls == nil {
+		return nil, fmt.Errorf("perspectron: session needs a detector or a classifier")
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("perspectron: session needs a workload")
+	}
+	m := sim.NewMachine(sim.DefaultConfig())
+	s := &Session{det: det, cls: cls, m: m}
+	if det != nil {
+		idx, resolved := resolveNames(det.FeatureNames, m)
+		if resolved == 0 {
+			return nil, fmt.Errorf("perspectron: none of the detector's %d counters are present on this machine",
+				len(det.FeatureNames))
+		}
+		s.detIdx = idx
+		s.interval = det.Interval
+		s.nf = len(det.FeatureNames)
+	}
+	if cls != nil {
+		idx, resolved := resolveNames(cls.FeatureNames, m)
+		if resolved == 0 && det == nil {
+			return nil, fmt.Errorf("perspectron: none of the classifier's %d counters are present on this machine",
+				len(cls.FeatureNames))
+		}
+		s.clsIdx = idx
+		if s.interval == 0 {
+			s.interval = cls.Interval
+			s.nf = len(cls.FeatureNames)
+		}
+	}
+	if cfg.Faults != nil {
+		sched, err := cfg.Faults.schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		if sched != nil {
+			sched.Attach(m)
+		}
+	}
+	s.src = trace.NewRunSource(ctx, m, cfg.Workload, 0, cfg.Seed,
+		trace.CollectConfig{MaxInsts: cfg.MaxInsts, Interval: s.interval})
+	return s, nil
+}
+
+// Next returns the next interval's verdict, or false when the run has ended
+// or ctx expired first. Distinguish the two by ctx.Err(): nil means the run
+// genuinely ended (check Err for a workload panic). After a deadline the
+// session remains usable — the producer keeps the sample for a later Next.
+func (s *Session) Next(ctx context.Context) (*Verdict, bool) {
+	smp, ok := s.src.NextCtx(ctx)
+	if !ok {
+		return nil, false
+	}
+	v := &Verdict{
+		Sample: smp.Index,
+		Insts:  uint64(smp.Index+1) * s.interval,
+	}
+	if s.det != nil {
+		score, avail := s.det.scoreWith(smp.Raw, smp.Index, s.detIdx)
+		v.Score = score
+		v.Flagged = score >= s.det.Threshold
+		if s.nf > 0 {
+			v.Coverage = float64(avail) / float64(s.nf)
+		}
+	}
+	if s.cls != nil {
+		scores, avail := s.cls.classScoresWith(smp.Raw, s.clsIdx)
+		best := 0
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[best] {
+				best = i
+			}
+		}
+		v.Class = s.cls.Classes[best]
+		v.ClassScore = scores[best]
+		if s.det == nil && s.nf > 0 {
+			v.Coverage = float64(avail) / float64(s.nf)
+		}
+	}
+	return v, true
+}
+
+// Count returns the number of verdicts delivered so far.
+func (s *Session) Count() int { return s.src.Count() }
+
+// Err reports a workload panic that ended the stream; valid once Next has
+// returned false with a live ctx, or after Close.
+func (s *Session) Err() error { return s.src.Err() }
+
+// LeakMarks exposes the workload's completed-disclosure marks (attack loops
+// record them); valid once the run has ended.
+func (s *Session) LeakMarks() []uint64 { return s.src.LeakMarks() }
+
+// Close stops the underlying run and releases the producer goroutine. Safe
+// to call more than once.
+func (s *Session) Close() { s.src.Close() }
