@@ -32,7 +32,11 @@ smoke-serve:
 
 # bench runs the root-package benchmarks plus the telemetry micro-benchmarks
 # with -benchmem, tees the text log to bench.out, and converts it into the
-# machine-readable BENCH_telemetry.json artifact.
+# machine-readable BENCH_telemetry.json artifact. It then runs the hot-path
+# kernel benchmarks (dense/serial baseline vs packed/parallel, see
+# docs/PERFORMANCE.md) into the BENCH_hotpath.json baseline.
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/telemetry | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json
+	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench_hotpath.out
+	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json

@@ -209,6 +209,82 @@ func BenchmarkPerceptronTraining(b *testing.B) {
 	}
 }
 
+// ---- hot-path kernel benchmarks (BENCH_hotpath.json) ------------------------
+//
+// Each benchmark pairs the historical serial/dense implementation against the
+// bit-packed and/or parallel kernel on the same inputs, so the JSON artifact
+// `make bench` writes records the measured speedup next to the baseline.
+
+// BenchmarkSelect compares feature selection with the pair sweep pinned to
+// one worker and the popcount kernels disabled (the seed implementation)
+// against the parallel popcount path.
+func BenchmarkSelect(b *testing.B) {
+	p := benchPrep()
+	X, y := p.Enc.Matrix(p.DS)
+	run := func(workers int, dense bool) func(*testing.B) {
+		return func(b *testing.B) {
+			features.Workers = workers
+			features.ForceDense = dense
+			defer func() { features.Workers = 0; features.ForceDense = false }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sel := features.Select(X, y, p.DS.Components, features.DefaultSelectConfig())
+				if len(sel.Indices) == 0 {
+					b.Fatal("empty selection")
+				}
+			}
+		}
+	}
+	b.Run("serial-dense", run(1, true))
+	b.Run("parallel-packed", run(0, false))
+}
+
+// BenchmarkFit compares perceptron training over dense float rows against
+// the bit-packed fit (identical weights, set-bit iteration only).
+func BenchmarkFit(b *testing.B) {
+	p := benchPrep()
+	Xd, y := p.Enc.BinaryMatrix(p.DS)
+	Xdense := trace.Project(Xd, p.Sel.Indices)
+	Xb, _ := p.Enc.PackedBinaryMatrix(p.DS)
+	Xpacked := trace.ProjectPacked(Xb, p.Sel.Indices)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			det := perceptron.New(len(p.Sel.Indices), perceptron.DefaultConfig())
+			det.Fit(Xdense, y)
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			det := perceptron.New(len(p.Sel.Indices), perceptron.DefaultConfig())
+			det.FitPacked(Xpacked, y)
+		}
+	})
+}
+
+// BenchmarkCrossValidate compares the serial fold loop against concurrent
+// folds (CVConfig.Parallel); results are identical, only wall-clock differs.
+func BenchmarkCrossValidate(b *testing.B) {
+	p := benchPrep()
+	run := func(parallel bool) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := eval.CrossValidate(p.DS, func() eval.ScoredClassifier {
+					return perceptron.New(len(p.Sel.Indices), perceptron.DefaultConfig())
+				}, eval.CVConfig{
+					Folds:      eval.TableIIIFolds(),
+					FeatureIdx: p.Sel.Indices,
+					Binary:     true,
+					Threshold:  0.25,
+					Parallel:   parallel,
+				})
+				b.ReportMetric(res.MeanAccuracy, "accuracy")
+			}
+		}
+	}
+	b.Run("serial", run(false))
+	b.Run("parallel", run(true))
+}
+
 func BenchmarkEndToEndMonitor(b *testing.B) {
 	opts := perspectron.DefaultOptions()
 	opts.MaxInsts = 100_000

@@ -47,7 +47,9 @@ func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 	}
 	ds := corpus.Default().Dataset(workloads, opts.CollectConfig())
 	enc := trace.NewEncoder(ds)
-	X, _ := enc.BinaryMatrix(ds)
+	// The bank trains on bit-packed k-sparse rows; weights are bit-identical
+	// to the dense float path (internal/perceptron packed tests).
+	X, _ := enc.PackedBinaryMatrix(ds)
 
 	labelOf := func(s *trace.Sample) string {
 		if s.Label == workload.Benign {
@@ -73,7 +75,7 @@ func TrainClassifier(workloads []Workload, opts Options) (*Classifier, error) {
 	pcfg := perceptron.DefaultConfig()
 	pcfg.Seed = opts.Seed
 	mc := perceptron.NewMultiClass(classes, ds.NumFeatures(), pcfg)
-	mc.Fit(X, labels)
+	mc.FitPacked(X, labels)
 
 	c := &Classifier{
 		Classes:      classes,

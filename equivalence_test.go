@@ -17,6 +17,7 @@ import (
 	"math"
 	"testing"
 
+	"perspectron/internal/perceptron"
 	"perspectron/internal/trace"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
@@ -162,6 +163,42 @@ func TestEncoderEquivalence(t *testing.T) {
 	for i, want := range spot {
 		if X[0][i] != want {
 			t.Errorf("X[0][%d] = %v, golden %v", i, X[0][i], want)
+		}
+	}
+
+	// The bit-packed encoding must carry the same bits as the golden dense
+	// binary matrix, and projecting + training through the packed kernel must
+	// reproduce the dense perceptron's weights exactly on the real corpus.
+	Xp, yp := enc.PackedBinaryMatrix(ds)
+	unpacked := make([][]float64, len(Xp))
+	for i, row := range Xp {
+		unpacked[i] = row.Unpack(ds.NumFeatures())
+	}
+	if h := hashMatrix(unpacked); h != "efc5fc5f28926925" {
+		t.Errorf("unpacked binary matrix hash = %s, golden efc5fc5f28926925", h)
+	}
+	for i := range y {
+		if yp[i] != y[i] {
+			t.Fatalf("packed label %d = %v, dense %v", i, yp[i], y[i])
+		}
+	}
+	idx := make([]int, 0, 64)
+	for j := 0; j < 64; j++ {
+		idx = append(idx, j*12)
+	}
+	pcfg := perceptron.DefaultConfig()
+	pcfg.Epochs = 60
+	pcfg.Seed = 3
+	dense := perceptron.New(len(idx), pcfg)
+	dense.Fit(trace.Project(Xb, idx), y)
+	packed := perceptron.New(len(idx), pcfg)
+	packed.FitPacked(trace.ProjectPacked(Xp, idx), yp)
+	if dense.Bias != packed.Bias {
+		t.Fatalf("packed training bias %v != dense %v", packed.Bias, dense.Bias)
+	}
+	for j := range dense.W {
+		if dense.W[j] != packed.W[j] {
+			t.Fatalf("packed training W[%d] = %v, dense %v", j, packed.W[j], dense.W[j])
 		}
 	}
 }

@@ -93,15 +93,28 @@ type ROCPoint struct {
 
 // ROC sweeps every distinct score as a threshold and returns the curve
 // ordered by increasing FPR (with the (0,0) and (1,1) endpoints).
+//
+// NaN scores carry no ranking information and are dropped (together with
+// their labels) before the sweep — a NaN-unsafe `>` comparator is
+// non-transitive, which previously made the curve order, and therefore the
+// AUC, nondeterministic whenever a degraded fold emitted NaN confidences.
+//
+// Degenerate folds are well-defined but flat: with no negative samples every
+// point has FPR 0 (AUC integrates to 0), and with no positive samples every
+// point has TPR 0. Callers aggregating across folds should treat such AUCs
+// as "no information", not as evidence the detector is broken.
 func ROC(scores, y []float64) []ROCPoint {
 	type sy struct {
 		s   float64
 		pos bool
 	}
-	all := make([]sy, len(scores))
+	all := make([]sy, 0, len(scores))
 	var nPos, nNeg float64
 	for i, s := range scores {
-		all[i] = sy{s, y[i] > 0}
+		if math.IsNaN(s) {
+			continue
+		}
+		all = append(all, sy{s, y[i] > 0})
 		if y[i] > 0 {
 			nPos++
 		} else {

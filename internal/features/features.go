@@ -13,13 +13,110 @@ package features
 import (
 	"context"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"perspectron/internal/encoding"
 	"perspectron/internal/stats"
 	"perspectron/internal/telemetry"
 )
+
+// Workers bounds the worker goroutines the selection kernels fan out to.
+// 0 (the default) uses runtime.GOMAXPROCS; 1 forces the serial path — the
+// dense-baseline configuration the hot-path benchmarks measure against.
+// Results are bit-identical for any worker count: work items (feature
+// columns, feature pairs) are self-contained and written to disjoint slots.
+var Workers int
+
+// ForceDense disables the bit-packed popcount kernels so benchmarks and
+// tests can measure the dense float path on 0/1 input. The packed kernels
+// are otherwise chosen automatically whenever the input matrix is exactly
+// 0/1 (and, for ClassCorrelation, the labels are ±1).
+var ForceDense bool
+
+// parallelDo runs fn(0..n-1) across the configured worker count, handing
+// out indices through an atomic counter so uneven items (the triangular
+// pair sweep) stay balanced. fn must write only to its own index's state.
+func parallelDo(n int, fn func(i int)) {
+	workers := Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// isBinaryMatrix reports whether every entry of X is exactly 0 or 1 — the
+// precondition for the popcount kernels.
+func isBinaryMatrix(X [][]float64) bool {
+	for _, row := range X {
+		for _, v := range row {
+			if v != 0 && v != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isSignLabels reports whether every label is exactly ±1.
+func isSignLabels(y []float64) bool {
+	for _, v := range y {
+		if v != 1 && v != -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// binaryPearson is the Pearson correlation of two 0/1 columns of length n
+// from their one-counts ca, cb and co-occurrence count cab. All products
+// stay below 2^53 for any realistic corpus, so the only roundings are the
+// two square roots and the final division — the popcount kernel and the
+// loop-based reference compute bit-identical values by construction.
+func binaryPearson(n, ca, cb, cab int) float64 {
+	den := math.Sqrt(float64(ca*(n-ca))) * math.Sqrt(float64(cb*(n-cb)))
+	if den == 0 {
+		return 0
+	}
+	return float64(n*cab-ca*cb) / den
+}
+
+// binaryClassCorr is the Pearson correlation between a 0/1 column (ca ones,
+// sxy = Σ x·y) and ±1 labels with sum sy, over n samples.
+func binaryClassCorr(n, ca, sxy, sy int) float64 {
+	den := math.Sqrt(float64(ca*(n-ca))) * math.Sqrt(float64(n*n-sy*sy))
+	if den == 0 {
+		return 0
+	}
+	return float64(n*sxy-ca*sy) / den
+}
 
 // Moments holds per-feature mean and standard deviation over a sample set.
 type Moments struct {
@@ -69,7 +166,11 @@ func Pearson(X [][]float64, m Moments, a, b int) float64 {
 }
 
 // ClassCorrelation returns, for every feature, the Pearson correlation with
-// the ±1 class labels.
+// the ±1 class labels. Features are swept in parallel (see Workers). When X
+// is exactly 0/1 and the labels are ±1, each correlation is computed from
+// popcounts over bit-packed columns via the exact integer identity
+// binaryClassCorr — mathematically equal to the dense form, differing only
+// in the rounding of intermediates.
 func ClassCorrelation(X [][]float64, y []float64) []float64 {
 	m := ComputeMoments(X)
 	n := len(X)
@@ -86,21 +187,42 @@ func ClassCorrelation(X [][]float64, y []float64) []float64 {
 	if ys == 0 {
 		return out
 	}
-	for j := range out {
+	if !ForceDense && isBinaryMatrix(X) && isSignLabels(y) {
+		ypos := encoding.PackThreshold(y, 0) // bit i set iff y[i] = +1
+		nPos := ypos.Ones()
+		sy := nPos - (n - nPos)
+		parallelDo(len(out), func(j int) {
+			col := encoding.PackColumn(X, j, 1)
+			ca := col.Ones()
+			c11 := col.AndCount(ypos)
+			// Σ x·y over ±1 labels: ones on the +1 side minus ones on
+			// the -1 side.
+			sxy := c11 - (ca - c11)
+			out[j] = binaryClassCorr(n, ca, sxy, sy)
+		})
+		return out
+	}
+	parallelDo(len(out), func(j int) {
 		if m.Std[j] == 0 {
-			continue
+			return
 		}
 		var s float64
 		for i, row := range X {
 			s += (row[j] - m.Mean[j]) * (y[i] - ym)
 		}
 		out[j] = s / (float64(n) * m.Std[j] * ys)
-	}
+	})
 	return out
 }
 
 // MutualInformation returns, per feature, the mutual information (in bits)
 // between the binarized feature (threshold 0.5) and the class.
+//
+// The contingency counts are gathered by popcount over bit-packed columns
+// and features are swept in parallel; since the counts are exact integers
+// either way and the downstream arithmetic is unchanged, the result is
+// bit-identical to the historical dense row loop (pinned by
+// TestMutualInformationPackedBitIdentical).
 func MutualInformation(X [][]float64, y []float64) []float64 {
 	n := len(X)
 	if n == 0 {
@@ -108,29 +230,22 @@ func MutualInformation(X [][]float64, y []float64) []float64 {
 	}
 	f := len(X[0])
 	out := make([]float64, f)
-	var nPos float64
-	for _, v := range y {
+	ypos := encoding.NewBitVec(n) // bit i set iff y[i] > 0
+	for i, v := range y {
 		if v > 0 {
-			nPos++
+			ypos.Set(i)
 		}
 	}
-	pY1 := nPos / float64(n)
-	for j := 0; j < f; j++ {
-		var c11, c10, c01, c00 float64
-		for i, row := range X {
-			x1 := row[j] >= encoding.BinarizeThreshold
-			y1 := y[i] > 0
-			switch {
-			case x1 && y1:
-				c11++
-			case x1 && !y1:
-				c10++
-			case !x1 && y1:
-				c01++
-			default:
-				c00++
-			}
-		}
+	nPosInt := ypos.Ones()
+	pY1 := float64(nPosInt) / float64(n)
+	parallelDo(f, func(j int) {
+		col := encoding.PackColumn(X, j, encoding.BinarizeThreshold)
+		onesJ := col.Ones()
+		c11i := col.AndCount(ypos)
+		c11 := float64(c11i)
+		c10 := float64(onesJ - c11i)
+		c01 := float64(nPosInt - c11i)
+		c00 := float64(n - onesJ - (nPosInt - c11i))
 		pX1 := (c11 + c10) / float64(n)
 		mi := 0.0
 		add := func(c, px, py float64) {
@@ -145,7 +260,7 @@ func MutualInformation(X [][]float64, y []float64) []float64 {
 		add(c01, 1-pX1, pY1)
 		add(c00, 1-pX1, 1-pY1)
 		out[j] = mi
-	}
+	})
 	return out
 }
 
@@ -158,6 +273,13 @@ type Group struct {
 // threshold, using single-linkage over the features with non-zero variance.
 // Groups are returned largest-first; members are ranked by class
 // correlation, matching Table I's presentation.
+//
+// The O(f²·n) pair sweep — the dominant cost of selection over the paper's
+// ~1159 counters — is sharded across Workers goroutines; each pair's
+// correlation is computed independently, so the resulting partition is
+// identical to the serial sweep. On exactly-0/1 input the sweep further
+// drops to popcounts over bit-packed columns (binaryPearson), turning each
+// pair into ~n/64 word operations.
 func CorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
 	m := ComputeMoments(X)
 	f := len(m.Mean)
@@ -180,11 +302,45 @@ func CorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
 			active = append(active, j)
 		}
 	}
-	for ai, a := range active {
-		for _, b := range active[ai+1:] {
-			if math.Abs(Pearson(X, m, a, b)) >= threshold {
-				union(a, b)
+
+	// Sweep all pairs in parallel, collecting over-threshold edges into
+	// per-row slots (disjoint per work item); unions are applied serially
+	// afterwards. Single-linkage components are order-independent, so the
+	// partition matches the historical serial union order exactly.
+	n := len(X)
+	edges := make([][]int, len(active)) // edges[ai] = indices bi > ai linked to ai
+	if !ForceDense && isBinaryMatrix(X) {
+		cols := make([]encoding.BitVec, len(active))
+		ones := make([]int, len(active))
+		parallelDo(len(active), func(ai int) {
+			cols[ai] = encoding.PackColumn(X, active[ai], 1)
+			ones[ai] = cols[ai].Ones()
+		})
+		parallelDo(len(active), func(ai int) {
+			var row []int
+			for bi := ai + 1; bi < len(active); bi++ {
+				r := binaryPearson(n, ones[ai], ones[bi], cols[ai].AndCount(cols[bi]))
+				if math.Abs(r) >= threshold {
+					row = append(row, bi)
+				}
 			}
+			edges[ai] = row
+		})
+	} else {
+		parallelDo(len(active), func(ai int) {
+			var row []int
+			a := active[ai]
+			for bi := ai + 1; bi < len(active); bi++ {
+				if math.Abs(Pearson(X, m, a, active[bi])) >= threshold {
+					row = append(row, bi)
+				}
+			}
+			edges[ai] = row
+		})
+	}
+	for ai, row := range edges {
+		for _, bi := range row {
+			union(active[ai], active[bi])
 		}
 	}
 

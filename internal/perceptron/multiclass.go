@@ -1,5 +1,7 @@
 package perceptron
 
+import "perspectron/internal/encoding"
+
 // MultiClass implements the paper's attack *classification* mode (§VII-B):
 // a one-vs-rest bank of perceptrons, one per class, sharing the k-sparse
 // feature space. The predicted class is the argmax of the normalized
@@ -44,6 +46,23 @@ func (m *MultiClass) Fit(X [][]float64, labels []string) {
 			}
 		}
 		m.Detectors[ci].Fit(X, y)
+	}
+}
+
+// FitPacked is Fit over bit-packed rows; each class detector trains through
+// Perceptron.FitPacked, so the bank's weights are bit-identical to Fit on
+// the equivalent dense 0/1 matrix.
+func (m *MultiClass) FitPacked(X []encoding.BitVec, labels []string) {
+	y := make([]float64, len(X))
+	for ci := range m.Classes {
+		for i, l := range labels {
+			if l == m.Classes[ci] {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		m.Detectors[ci].FitPacked(X, y)
 	}
 }
 

@@ -7,8 +7,10 @@ package perceptron
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 
+	"perspectron/internal/encoding"
 	"perspectron/internal/telemetry"
 )
 
@@ -68,6 +70,44 @@ func (p *Perceptron) Name() string { return "PerSpectron" }
 // records per-epoch error rates, total epochs/updates, the epoch count at
 // convergence and the quantized weight-saturation count.
 func (p *Perceptron) Fit(X [][]float64, y []float64) {
+	p.fit(len(X), y,
+		func(i int) (raw, norm float64) { return p.rawNorm(X[i]) },
+		func(i int, step float64) {
+			for j, v := range X[i] {
+				if v != 0 {
+					p.W[j] += step * v
+				}
+			}
+			p.Bias += step
+		})
+}
+
+// FitPacked is Fit over bit-packed rows: the dot product, margin check and
+// weight update iterate only the set words of each k-sparse vector instead
+// of all f floats. For rows packed from the same 0/1 matrix it produces
+// bit-identical weights to Fit — set bits are visited in the same ascending
+// order, and w·1 is exactly w — which TestFitPackedBitIdentical pins.
+func (p *Perceptron) FitPacked(X []encoding.BitVec, y []float64) {
+	p.fit(len(X), y,
+		func(i int) (raw, norm float64) { return p.rawNormPacked(X[i]) },
+		func(i int, step float64) {
+			for w, word := range X[i] {
+				for word != 0 {
+					p.W[w<<6+bits.TrailingZeros64(word)] += step
+					word &= word - 1
+				}
+			}
+			p.Bias += step
+		})
+}
+
+// fit is the shared training driver: rawNorm returns sample i's raw output
+// and active-weight magnitude in one pass, update applies the learning step
+// to sample i's active features. Keeping the epoch/shuffle/telemetry logic
+// in one place guarantees the dense and packed paths replay the identical
+// sample order and update sequence.
+func (p *Perceptron) fit(n int, y []float64,
+	rawNorm func(i int) (raw, norm float64), update func(i int, step float64)) {
 	reg := telemetry.Get()
 	epochCtr := reg.Counter("perspectron_train_epochs_total")
 	updateCtr := reg.Counter("perspectron_train_updates_total")
@@ -77,7 +117,7 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 	}
 
 	r := rand.New(rand.NewSource(p.cfg.Seed))
-	idx := make([]int, len(X))
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -91,7 +131,7 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		errs, updates := 0, 0
 		for _, i := range idx {
-			out := p.Raw(X[i])
+			out, norm := rawNorm(i)
 			pred := 1.0
 			if out < 0 {
 				pred = -1
@@ -101,27 +141,23 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 				errs++
 			}
 			// Update on error, and also on low-margin correct
-			// predictions (threshold training).
-			if wrong || (p.cfg.Margin > 0 && y[i]*p.Score(X[i]) < p.cfg.Margin) {
+			// predictions (threshold training). The margin check
+			// normalizes the raw output already in hand instead of
+			// recomputing the full dot product through Score.
+			if wrong || (p.cfg.Margin > 0 && y[i]*clampScore(out, norm) < p.cfg.Margin) {
 				updates++
-				step := 2 * p.cfg.LearningRate * y[i]
-				for j, v := range X[i] {
-					if v != 0 {
-						p.W[j] += step * v
-					}
-				}
-				p.Bias += step
+				update(i, 2*p.cfg.LearningRate*y[i])
 			}
 		}
 		epochCtr.Inc()
 		updateCtr.Add(uint64(updates))
-		if errHist != nil && len(X) > 0 {
-			errHist.Observe(float64(errs) / float64(len(X)))
+		if errHist != nil && n > 0 {
+			errHist.Observe(float64(errs) / float64(n))
 		}
 		if updates == 0 {
 			break // every sample beyond margin: converged
 		}
-		if p.cfg.Margin == 0 && float64(errs)/float64(len(X)) < p.cfg.TargetError {
+		if p.cfg.Margin == 0 && float64(errs)/float64(n) < p.cfg.TargetError {
 			break
 		}
 	}
@@ -129,6 +165,21 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 		reg.Gauge("perspectron_train_epochs_converged").Set(float64(used))
 		reg.Gauge("perspectron_train_saturated_weights").Set(float64(p.SaturatedWeights()))
 	}
+}
+
+// clampScore normalizes a raw output by the active-weight magnitude into
+// [-1, 1] — the shared tail of every Score variant.
+func clampScore(raw, norm float64) float64 {
+	if norm == 0 {
+		return 0
+	}
+	s := raw / norm
+	if s > 1 {
+		s = 1
+	} else if s < -1 {
+		s = -1
+	}
+	return s
 }
 
 // Raw returns the un-normalized dot product w·x + b — the quantity the
@@ -143,34 +194,75 @@ func (p *Perceptron) Raw(x []float64) float64 {
 	return s
 }
 
+// RawPacked is Raw over a bit-packed input: one add per set bit, visiting
+// bits in ascending index order so the float accumulation matches Raw
+// exactly on 0/1 input.
+func (p *Perceptron) RawPacked(x encoding.BitVec) float64 {
+	s := p.Bias
+	for w, word := range x {
+		for word != 0 {
+			s += p.W[w<<6+bits.TrailingZeros64(word)]
+			word &= word - 1
+		}
+	}
+	return s
+}
+
+// rawNorm accumulates the raw output and the active-weight magnitude in a
+// single pass over the input — Score used to make two.
+func (p *Perceptron) rawNorm(x []float64) (raw, norm float64) {
+	raw = p.Bias
+	norm = math.Abs(p.Bias)
+	for j, v := range x {
+		if v != 0 {
+			raw += p.W[j] * v
+			norm += math.Abs(p.W[j] * v)
+		}
+	}
+	return raw, norm
+}
+
+// rawNormPacked is rawNorm over a bit-packed input.
+func (p *Perceptron) rawNormPacked(x encoding.BitVec) (raw, norm float64) {
+	raw = p.Bias
+	norm = math.Abs(p.Bias)
+	for w, word := range x {
+		for word != 0 {
+			wj := p.W[w<<6+bits.TrailingZeros64(word)]
+			raw += wj
+			norm += math.Abs(wj)
+			word &= word - 1
+		}
+	}
+	return raw, norm
+}
+
 // Score returns the normalized pre-threshold output in [-1, 1]: the raw sum
 // divided by the total weight magnitude of the *active* inputs, so +1 means
 // every active feature voted suspicious. This is the paper's confidence
 // measurement passed to the OS on detection (§IV-G1); the default decision
 // threshold on it is 0.25.
 func (p *Perceptron) Score(x []float64) float64 {
-	norm := math.Abs(p.Bias)
-	for j, v := range x {
-		if v != 0 {
-			norm += math.Abs(p.W[j] * v)
-		}
-	}
-	if norm == 0 {
-		return 0
-	}
-	s := p.Raw(x) / norm
-	if s > 1 {
-		s = 1
-	} else if s < -1 {
-		s = -1
-	}
-	return s
+	return clampScore(p.rawNorm(x))
+}
+
+// ScorePacked is Score over a bit-packed input, iterating set words only.
+func (p *Perceptron) ScorePacked(x encoding.BitVec) float64 {
+	return clampScore(p.rawNormPacked(x))
 }
 
 // Predict returns +1 (suspicious) when the normalized output exceeds the
 // configured threshold, else -1 (benign).
 func (p *Perceptron) Predict(x []float64) float64 {
 	if p.Score(x) >= p.Threshold {
+		return 1
+	}
+	return -1
+}
+
+// PredictPacked thresholds the packed-input score.
+func (p *Perceptron) PredictPacked(x encoding.BitVec) float64 {
+	if p.ScorePacked(x) >= p.Threshold {
 		return 1
 	}
 	return -1
@@ -268,30 +360,59 @@ func (q *Quantized) Raw(x []float64) int32 {
 	return s
 }
 
+// RawPacked is Raw over a bit-packed input: one integer add per set bit.
+func (q *Quantized) RawPacked(x encoding.BitVec) int32 {
+	s := q.Bias
+	for w, word := range x {
+		for word != 0 {
+			s += int32(q.W[w<<6+bits.TrailingZeros64(word)])
+			word &= word - 1
+		}
+	}
+	return s
+}
+
 // Score normalizes the integer output into [-1, 1] over the active inputs,
-// mirroring Perceptron.Score.
+// mirroring Perceptron.Score. Like its float mirror it accumulates the raw
+// sum and the norm in one pass instead of re-walking the input through Raw.
 func (q *Quantized) Score(x []float64) float64 {
+	raw := q.Bias
 	norm := math.Abs(float64(q.Bias))
 	for j, v := range x {
 		if v != 0 {
+			raw += int32(q.W[j])
 			norm += math.Abs(float64(q.W[j]) * v)
 		}
 	}
-	if norm == 0 {
-		return 0
+	return clampScore(float64(raw), norm)
+}
+
+// ScorePacked is Score over a bit-packed input, iterating set words only.
+func (q *Quantized) ScorePacked(x encoding.BitVec) float64 {
+	raw := q.Bias
+	norm := math.Abs(float64(q.Bias))
+	for w, word := range x {
+		for word != 0 {
+			wj := q.W[w<<6+bits.TrailingZeros64(word)]
+			raw += int32(wj)
+			norm += math.Abs(float64(wj))
+			word &= word - 1
+		}
 	}
-	s := float64(q.Raw(x)) / norm
-	if s > 1 {
-		s = 1
-	} else if s < -1 {
-		s = -1
-	}
-	return s
+	return clampScore(float64(raw), norm)
 }
 
 // Predict thresholds the normalized integer output.
 func (q *Quantized) Predict(x []float64) float64 {
 	if q.Score(x) >= q.Threshold {
+		return 1
+	}
+	return -1
+}
+
+// PredictPacked thresholds the packed-input score.
+func (q *Quantized) PredictPacked(x encoding.BitVec) float64 {
+	if q.ScorePacked(x) >= q.Threshold {
 		return 1
 	}
 	return -1

@@ -66,11 +66,14 @@ func (s *Sampler) fire() {
 
 // Flush emits a final partial sample if at least minInstr instructions have
 // committed since the last emitted sample. Programs whose length is not a
-// multiple of the interval still contribute their tail.
+// multiple of the interval still contribute their tail. Flush is idempotent:
+// the emitted tail advances the interval boundary, so a second Flush (or a
+// Flush-then-Tick on the same boundary) does not double-count it.
 func (s *Sampler) Flush(minInstr uint64) {
 	done := s.committed - (s.nextFire - s.interval)
 	if done >= minInstr && done > 0 {
 		s.fire()
+		s.nextFire = s.committed + s.interval
 	}
 }
 

@@ -169,6 +169,37 @@ func TestSamplerFlush(t *testing.T) {
 	}
 }
 
+// TestSamplerFlushIdempotent: the tail emit must advance the interval
+// boundary — a second Flush, or a Flush followed by a Tick that crosses the
+// old boundary, used to re-emit the same tail.
+func TestSamplerFlushIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.New(CompCommit, "x", "")
+	r.Seal()
+	s := NewSampler(r, 100)
+	a.Add(1)
+	s.Tick(60)
+	s.Flush(50)
+	s.Flush(50)
+	if got := len(s.Samples()); got != 1 {
+		t.Fatalf("double Flush emitted %d samples, want 1", got)
+	}
+	// The flushed tail consumed instructions 0-60; the next full interval
+	// starts there, so 100 more instructions emit exactly one more sample
+	// with only the post-flush counter delta.
+	a.Add(7)
+	if fired := s.Tick(100); fired != 1 {
+		t.Fatalf("post-flush tick fired %d times, want 1", fired)
+	}
+	samples := s.Samples()
+	if got := len(samples); got != 2 {
+		t.Fatalf("samples = %d, want 2", got)
+	}
+	if samples[1][0] != 7 {
+		t.Fatalf("post-flush delta = %v, want 7 (tail re-counted?)", samples[1][0])
+	}
+}
+
 func TestSamplerMultipleFiresInOneTick(t *testing.T) {
 	r := NewRegistry()
 	r.New(CompCommit, "x", "")

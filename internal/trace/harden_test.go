@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"perspectron/internal/isa"
+	"perspectron/internal/retry"
 	"perspectron/internal/sim"
 	"perspectron/internal/telemetry"
 	"perspectron/internal/workload"
@@ -100,6 +101,49 @@ func TestCollectRetrySucceedsWithFreshSeed(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&attempts); got != 2 {
 		t.Fatalf("attempts = %d, want 2 (panic, then success)", got)
+	}
+}
+
+// TestCollectBackoffMaxAttemptsHonored: with Retries unset, a caller-supplied
+// Backoff.MaxAttempts used to be unconditionally overwritten to Retries+1 = 1,
+// silently disabling the caller's retries. It must govern the attempt budget.
+func TestCollectBackoffMaxAttemptsHonored(t *testing.T) {
+	var attempts int32
+	progs := []workload.Program{
+		&panicProg{after: 5_000, failures: 1, attempts: &attempts},
+	}
+	cfg := CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1,
+		Backoff: retry.Policy{Base: time.Millisecond, Max: 2 * time.Millisecond,
+			Factor: 2, MaxAttempts: 3}}
+	ds := Collect(progs, cfg)
+	if len(ds.Dropped) != 0 {
+		t.Fatalf("run that recovered on its Backoff-granted retry was dropped: %v", ds.Dropped)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (panic, then Backoff-granted retry)", got)
+	}
+
+	// Explicit Retries still wins over the policy's own attempt cap.
+	attempts = 0
+	cfg.Retries = 2
+	cfg.Backoff.MaxAttempts = 1
+	ds = Collect([]workload.Program{
+		&panicProg{after: 5_000, failures: 1, attempts: &attempts},
+	}, cfg)
+	if len(ds.Dropped) != 0 {
+		t.Fatalf("Retries-granted retry was dropped: %v", ds.Dropped)
+	}
+
+	// And the all-defaults case keeps meaning exactly one attempt.
+	attempts = 0
+	ds = Collect([]workload.Program{
+		&panicProg{after: 5_000, failures: 99, attempts: &attempts},
+	}, CollectConfig{MaxInsts: 30_000, Interval: 10_000, Seed: 1, Runs: 1})
+	if len(ds.Dropped) != 1 {
+		t.Fatalf("dropped = %v, want the single failed attempt recorded", ds.Dropped)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 1 {
+		t.Fatalf("attempts = %d, want 1 with no retries configured", got)
 	}
 }
 

@@ -111,7 +111,9 @@ type CollectConfig struct {
 	// internal/retry jittered-exponential helper; sequences are seeded from
 	// cfg.Seed, so a fixed config replays the same schedule). The zero value
 	// uses collectBackoff, a millisecond-scale policy that keeps retried
-	// collections fast. Backoff.MaxAttempts is ignored — Retries governs.
+	// collections fast. When Retries is set it governs the attempt count
+	// (Retries+1 total tries); with Retries == 0 a caller-supplied
+	// Backoff.MaxAttempts is honored as-is.
 	Backoff retry.Policy
 }
 
@@ -194,7 +196,12 @@ func CollectCtx(ctx context.Context, progs []workload.Program, cfg CollectConfig
 				if pol == (retry.Policy{}) {
 					pol = collectBackoff
 				}
-				pol.MaxAttempts = cfg.Retries + 1
+				// Retries governs the attempt budget when set; otherwise a
+				// caller-supplied Backoff.MaxAttempts survives (overwriting it
+				// unconditionally used to silently disable those retries).
+				if cfg.Retries > 0 || pol.MaxAttempts <= 0 {
+					pol.MaxAttempts = cfg.Retries + 1
+				}
 				attempts, err := retry.Do(ctx, "collect", pol, cfg.Seed*1_000_003+int64(ji),
 					func(attempt int) error {
 						// Attempt 0 reproduces the historical seed schedule
@@ -381,6 +388,20 @@ func (e *Encoder) BinaryMatrix(d *Dataset) (X [][]float64, y []float64) {
 	return X, y
 }
 
+// PackedBinaryMatrix encodes the dataset as bit-packed k-sparse binary
+// vectors: row i has bit j set exactly where BinaryMatrix would put a 1.
+// It feeds the popcount scoring/training kernels without materializing the
+// dense float matrix.
+func (e *Encoder) PackedBinaryMatrix(d *Dataset) (X []encoding.BitVec, y []float64) {
+	X = make([]encoding.BitVec, len(d.Samples))
+	y = make([]float64, len(d.Samples))
+	for i := range d.Samples {
+		X[i] = encoding.Pack(e.Binarize(&d.Samples[i]))
+		y[i] = LabelValue(d.Samples[i].Label)
+	}
+	return X, y
+}
+
 // LabelValue maps a label onto the perceptron's ±1 target.
 func LabelValue(l workload.Label) float64 {
 	if l == workload.Malicious {
@@ -396,6 +417,22 @@ func Project(X [][]float64, idx []int) [][]float64 {
 		p := make([]float64, len(idx))
 		for j, f := range idx {
 			p[j] = row[f]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// ProjectPacked is Project over bit-packed rows: output bit j mirrors input
+// bit idx[j].
+func ProjectPacked(X []encoding.BitVec, idx []int) []encoding.BitVec {
+	out := make([]encoding.BitVec, len(X))
+	for i, row := range X {
+		p := encoding.NewBitVec(len(idx))
+		for j, f := range idx {
+			if row.Get(f) {
+				p.Set(j)
+			}
 		}
 		out[i] = p
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"perspectron/internal/encoding"
 	"perspectron/internal/workload"
 	"perspectron/internal/workload/attacks"
 	"perspectron/internal/workload/benign"
@@ -123,6 +124,45 @@ func TestProject(t *testing.T) {
 	P := Project(X, []int{2, 0})
 	if P[0][0] != 3 || P[0][1] != 1 || P[1][0] != 6 || P[1][1] != 4 {
 		t.Fatalf("projection wrong: %v", P)
+	}
+}
+
+// TestPackedBinaryMatrixMatchesDense: the bit-packed encoding must carry
+// exactly the same bits (and labels) as the dense BinaryMatrix path.
+func TestPackedBinaryMatrixMatchesDense(t *testing.T) {
+	ds := smallDataset(t)
+	enc := NewEncoder(ds)
+	Xd, yd := enc.BinaryMatrix(ds)
+	Xp, yp := enc.PackedBinaryMatrix(ds)
+	if len(Xp) != len(Xd) || len(yp) != len(yd) {
+		t.Fatalf("packed shape (%d,%d) != dense (%d,%d)", len(Xp), len(yp), len(Xd), len(yd))
+	}
+	for i := range Xd {
+		if yp[i] != yd[i] {
+			t.Fatalf("label %d: packed %v != dense %v", i, yp[i], yd[i])
+		}
+		for j, v := range Xd[i] {
+			if Xp[i].Get(j) != (v == 1) {
+				t.Fatalf("row %d bit %d: packed %v, dense %v", i, j, Xp[i].Get(j), v)
+			}
+		}
+	}
+}
+
+func TestProjectPacked(t *testing.T) {
+	X := [][]float64{{1, 0, 1, 1}, {0, 1, 0, 1}}
+	idx := []int{3, 0, 2}
+	dense := Project(X, idx)
+	packed := ProjectPacked(encoding.PackRows(X), idx)
+	for i := range dense {
+		for j, v := range dense[i] {
+			if packed[i].Get(j) != (v == 1) {
+				t.Fatalf("row %d bit %d: packed %v, dense %v", i, j, packed[i].Get(j), v)
+			}
+		}
+		if want := []int{3, 1}[i]; packed[i].Ones() != want {
+			t.Fatalf("row %d ones = %d, want %d", i, packed[i].Ones(), want)
+		}
 	}
 }
 

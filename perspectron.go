@@ -210,13 +210,16 @@ func Train(workloads []Workload, opts Options) (*Detector, error) {
 		return nil, fmt.Errorf("perspectron: feature selection found no informative features")
 	}
 
-	Xb, yb := enc.BinaryMatrix(ds)
-	Xp := trace.Project(Xb, sel.Indices)
+	// Train through the bit-packed kernel: the packed fit walks only the set
+	// bits of each k-sparse row, and its weights are bit-identical to the
+	// dense float path (see internal/perceptron packed tests).
+	Xb, yb := enc.PackedBinaryMatrix(ds)
+	Xp := trace.ProjectPacked(Xb, sel.Indices)
 	pcfg := perceptron.DefaultConfig()
 	pcfg.Threshold = opts.Threshold
 	pcfg.Seed = opts.Seed
 	perc := perceptron.New(len(sel.Indices), pcfg)
-	perc.Fit(Xp, yb)
+	perc.FitPacked(Xp, yb)
 
 	d := &Detector{
 		FeatureNames: make([]string, len(sel.Indices)),
