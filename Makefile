@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # BENCH filters which benchmarks run (a go test -bench regexp).
 BENCH ?= .
 
-.PHONY: ci vet build test race bench smoke-serve
+.PHONY: ci vet build test race bench smoke-serve smoke-chaos
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -30,13 +30,25 @@ race:
 smoke-serve:
 	bash scripts/serve_smoke.sh
 
+# smoke-chaos is the serve-layer chaos gate: the in-process chaos harness
+# (scorer panics, stalled sources, checkpoint corruption, load spikes —
+# concurrently) under the race detector with a bounded wall clock, then a
+# real-binary overload drive that must shed loudly while /readyz stays
+# truthful (see scripts/serve_chaos.sh).
+smoke-chaos:
+	bash scripts/serve_chaos.sh
+
 # bench runs the root-package benchmarks plus the telemetry micro-benchmarks
 # with -benchmem, tees the text log to bench.out, and converts it into the
 # machine-readable BENCH_telemetry.json artifact. It then runs the hot-path
 # kernel benchmarks (dense/serial baseline vs packed/parallel, see
-# docs/PERFORMANCE.md) into the BENCH_hotpath.json baseline.
+# docs/PERFORMANCE.md) into the BENCH_hotpath.json baseline, and the serve
+# saturation benchmark (1k+ concurrent streams vs p99 verdict latency and
+# shed rate, see docs/SERVICE.md) into BENCH_serve.json.
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/telemetry | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json
 	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench_hotpath.out
 	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json
+	$(GO) test -bench '^BenchmarkServeSaturation$$' -benchtime $(BENCHTIME) -run '^$$' ./internal/serve | tee bench_serve.out
+	$(GO) run ./cmd/benchjson -in bench_serve.out -out BENCH_serve.json

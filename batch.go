@@ -1,0 +1,135 @@
+package perspectron
+
+// Batched raw-sample scoring: the serving runtime's shard path. A Session
+// owns one stream and scores inline; a RawScorer instead scores raw
+// counter-delta vectors handed to it from many streams — the bounded-queue
+// ingest stage in internal/serve drains a whole shard's tick through one
+// scorer, so a shard of hundreds of streams costs one bit-pack plus one
+// packed margin sweep per sample instead of a dense dot product per stream.
+// The models are read, never written (the same immutability contract as
+// Session), so any number of RawScorers can share one hot-reloaded pair.
+
+import (
+	"context"
+	"fmt"
+
+	"perspectron/internal/encoding"
+	"perspectron/internal/sim"
+)
+
+// RawSample is one sampling interval's raw counter-delta vector as produced
+// by Session.NextRaw, before any scoring: the unit of work the serving
+// ingest queues carry. Raw is machine-width (indexed by counter, not model
+// slot) and may contain NaN/Inf fault sentinels.
+type RawSample struct {
+	// Sample is the sampling-interval index within the run (the encoding's
+	// execution point).
+	Sample int
+	// Raw is the machine-width counter-delta vector. The slice is owned by
+	// the caller once returned; the session never rewrites it.
+	Raw []float64
+}
+
+// NextRaw returns the next interval's raw sample without scoring it, or
+// false when the run has ended or ctx expired first — the producer half of
+// the serving runtime's ingest stage. It shares Next's deadline semantics:
+// distinguish run-end from deadline by ctx.Err(), and the session remains
+// usable after a deadline. Mixing Next and NextRaw on one session is
+// allowed; each sample is delivered exactly once.
+func (s *Session) NextRaw(ctx context.Context) (RawSample, bool) {
+	smp, ok := s.src.NextCtx(ctx)
+	if !ok {
+		return RawSample{}, false
+	}
+	return RawSample{Sample: smp.Index, Raw: smp.Raw}, true
+}
+
+// RawScorer scores RawSamples against an immutable Detector/Classifier pair
+// through the bit-packed hot path: each sample is packed once per model
+// encoding, the detector margin is one MarginPacked sweep, and the
+// classifier's one-vs-rest bank reuses a single packed vector for all
+// classes. Counter indices are resolved against the standard machine
+// configuration at construction, exactly as a Session resolves them, so a
+// RawScorer and a Session scoring the same raw vector produce bit-identical
+// results (pinned by TestRawScorerMatchesSession).
+//
+// A RawScorer reuses internal scratch buffers and is NOT safe for
+// concurrent use — give each shard scorer its own.
+type RawScorer struct {
+	det    *Detector
+	cls    *Classifier
+	detIdx []int
+	clsIdx []int
+	nfDet  int
+	nfCls  int
+
+	detBits encoding.BitVec // scratch, reused across calls
+	clsBits encoding.BitVec
+	scores  []float64
+}
+
+// NewRawScorer builds a scorer for the model pair; either model may be nil
+// but not both. Indices resolve against a fresh default machine — the same
+// homogeneous configuration every serving Session runs on.
+func NewRawScorer(det *Detector, cls *Classifier) (*RawScorer, error) {
+	if det == nil && cls == nil {
+		return nil, fmt.Errorf("perspectron: raw scorer needs a detector or a classifier")
+	}
+	m := sim.NewMachine(sim.DefaultConfig())
+	r := &RawScorer{det: det, cls: cls}
+	if det != nil {
+		idx, resolved := resolveNames(det.FeatureNames, m)
+		if resolved == 0 {
+			return nil, fmt.Errorf("perspectron: none of the detector's %d counters are present on this machine",
+				len(det.FeatureNames))
+		}
+		r.detIdx = idx
+		r.nfDet = len(det.FeatureNames)
+	}
+	if cls != nil {
+		idx, resolved := resolveNames(cls.FeatureNames, m)
+		if resolved == 0 && det == nil {
+			return nil, fmt.Errorf("perspectron: none of the classifier's %d counters are present on this machine",
+				len(cls.FeatureNames))
+		}
+		r.clsIdx = idx
+		r.nfCls = len(cls.FeatureNames)
+	}
+	return r, nil
+}
+
+// Detect scores one raw sample with the detector: the normalized margin,
+// the threshold cut, and the fraction of detector features observable (the
+// degradation ladder's input). With no detector it returns zeros.
+func (r *RawScorer) Detect(s RawSample) (score float64, flagged bool, coverage float64) {
+	if r.det == nil {
+		return 0, false, 0
+	}
+	var avail int
+	r.detBits, avail = r.det.encoding().BitsPacked(s.Raw, r.detIdx, s.Sample, r.detBits)
+	score = encoding.MarginPacked(r.det.Bias, r.det.Weights, r.detBits)
+	return score, score >= r.det.Threshold, float64(avail) / float64(r.nfDet)
+}
+
+// Classify names one raw sample's class with the classifier bank: the
+// argmax class, its normalized margin, and the classifier-feature coverage.
+// With no classifier it returns ("", 0, 0).
+func (r *RawScorer) Classify(s RawSample) (class string, score float64, coverage float64) {
+	if r.cls == nil {
+		return "", 0, 0
+	}
+	var avail int
+	r.clsBits, avail = r.cls.encoding().BitsPacked(s.Raw, r.clsIdx, -1, r.clsBits)
+	if cap(r.scores) < len(r.cls.Classes) {
+		r.scores = make([]float64, len(r.cls.Classes))
+	}
+	scores := r.scores[:len(r.cls.Classes)]
+	best := 0
+	for ci := range r.cls.Classes {
+		scores[ci] = encoding.MarginPacked(r.cls.Biases[ci], r.cls.Weights[ci], r.clsBits)
+		if scores[ci] > scores[best] {
+			best = ci
+		}
+	}
+	return r.cls.Classes[best], scores[best], float64(avail) / float64(r.nfCls)
+}

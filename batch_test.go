@@ -1,0 +1,91 @@
+package perspectron
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestRawScorerMatchesSession pins the serving shard path to the inline
+// session path bit for bit: two sessions over the same (workload, seed) —
+// one scored inline by Next, one drained raw through NextRaw and scored by
+// a RawScorer — must produce identical scores, flags, classes and coverage,
+// including under injected faults (NaN sentinels through the packed
+// kernels).
+func TestRawScorerMatchesSession(t *testing.T) {
+	det := sharedDetector(t)
+	cls := sharedClassifier(t)
+	for _, faults := range []*FaultConfig{nil, {Seed: 3, Dropout: 0.3}} {
+		cfg := SessionConfig{
+			Workload: AttackByName("spectreV1", "fr"),
+			MaxInsts: 60_000,
+			Seed:     11,
+			Faults:   faults,
+		}
+		ctx := context.Background()
+		inline, err := NewSession(ctx, det, cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inline.Close()
+		rawSess, err := NewSession(ctx, det, cls, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rawSess.Close()
+		scorer, err := NewRawScorer(det, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			v, ok1 := inline.Next(ctx)
+			rs, ok2 := rawSess.NextRaw(ctx)
+			if ok1 != ok2 {
+				t.Fatalf("faults=%v: streams diverged at sample %d (inline=%v raw=%v)", faults, n, ok1, ok2)
+			}
+			if !ok1 {
+				break
+			}
+			score, flagged, coverage := scorer.Detect(rs)
+			if score != v.Score || flagged != v.Flagged || coverage != v.Coverage {
+				t.Fatalf("faults=%v sample %d: raw (score=%v flagged=%v cov=%v) != session (%v %v %v)",
+					faults, n, score, flagged, coverage, v.Score, v.Flagged, v.Coverage)
+			}
+			class, clsScore, _ := scorer.Classify(rs)
+			if class != v.Class || clsScore != v.ClassScore {
+				t.Fatalf("faults=%v sample %d: raw class (%s %v) != session (%s %v)",
+					faults, n, class, clsScore, v.Class, v.ClassScore)
+			}
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("faults=%v: no samples compared", faults)
+		}
+	}
+}
+
+func TestRawScorerNilModels(t *testing.T) {
+	if _, err := NewRawScorer(nil, nil); err == nil {
+		t.Fatalf("model-less raw scorer accepted")
+	}
+	det := sharedDetector(t)
+	r, err := NewRawScorer(det, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class, score, cov := r.Classify(RawSample{}); class != "" || score != 0 || cov != 0 {
+		t.Fatalf("classifier-less Classify = (%q, %v, %v), want zeros", class, score, cov)
+	}
+	// A fully faulted sample degrades to the bare bias sign at coverage 0
+	// (the same total-blackout margin the dense path produces) instead of
+	// panicking or flagging.
+	raw := make([]float64, 512)
+	for i := range raw {
+		raw[i] = math.NaN()
+	}
+	score, flagged, cov := r.Detect(RawSample{Raw: raw})
+	if cov != 0 || flagged || math.IsNaN(score) {
+		t.Fatalf("all-NaN Detect = (%v, %v, %v), want finite unflagged score at coverage 0", score, flagged, cov)
+	}
+}

@@ -12,6 +12,8 @@
 //	                   [-workloads name,name|all|attacks|benign] [-channel fr|ff|pp]
 //	                   [-insts N] [-seed N] [-episodes N] [-verdicts FILE]
 //	                   [-sample-timeout D] [-episode-timeout D] [-poll D]
+//	                   [-shards N] [-queue-depth N] [-batch N]
+//	                   [-load-high F] [-load-critical F]
 //	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-faultseed N]
 //	perspectron list
 //
@@ -22,9 +24,12 @@
 // detector then runs in degraded mode and the report states its coverage.
 //
 // `serve` runs the long-lived supervised detection service (docs/SERVICE.md):
-// one worker per workload, checkpoint hot-reload with rollback, graceful
-// degradation, and /healthz + /readyz next to /metrics when -metrics-addr is
-// given. SIGINT/SIGTERM drains cleanly, flushing the verdict log.
+// one worker per workload streaming raw samples over a consistent-hash ring
+// into bounded per-shard queues with deterministic shedding and
+// backpressure, checkpoint hot-reload with rollback, graceful degradation
+// on both counter coverage and queue load, and /healthz + /readyz next to
+// /metrics when -metrics-addr is given. SIGINT/SIGTERM drains cleanly,
+// flushing the verdict log.
 package main
 
 import (
@@ -424,6 +429,11 @@ func cmdServe(args []string) {
 	sampleTimeout := fs.Duration("sample-timeout", 2*time.Second, "per-sample deadline before an episode fails")
 	episodeTimeout := fs.Duration("episode-timeout", 60*time.Second, "whole-episode deadline")
 	poll := fs.Duration("poll", 500*time.Millisecond, "checkpoint watch cadence (negative disables hot-reload)")
+	shards := fs.Int("shards", 0, "scoring shards on the consistent-hash ring (0 = min(GOMAXPROCS, 8))")
+	queueDepth := fs.Int("queue-depth", 0, "per-shard pending-sample cap; a full queue sheds loudly (0 = 1024)")
+	batch := fs.Int("batch", 0, "max samples per scorer sweep (0 = 256)")
+	loadHigh := fs.Float64("load-high", 0, "queue pressure that starts backpressure + classifier demotion (0 = 0.75)")
+	loadCritical := fs.Float64("load-critical", 0, "queue pressure that demotes to the threshold rung (0 = 0.9)")
 	dropout := fs.Float64("dropout", 0, "per-sample counter dropout probability (fault injection)")
 	stuck0 := fs.Float64("stuck0", 0, "fraction of counters stuck at zero")
 	stuckMax := fs.Float64("stuckmax", 0, "fraction of counters stuck at saturation")
@@ -445,6 +455,11 @@ func cmdServe(args []string) {
 		SampleTimeout:  *sampleTimeout,
 		EpisodeTimeout: *episodeTimeout,
 		PollInterval:   *poll,
+		Shards:         *shards,
+		QueueDepth:     *queueDepth,
+		Batch:          *batch,
+		LoadHigh:       *loadHigh,
+		LoadCritical:   *loadCritical,
 	}
 	if *dropout > 0 || *stuck0 > 0 || *stuckMax > 0 {
 		cfg.Faults = &perspectron.FaultConfig{

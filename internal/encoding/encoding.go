@@ -14,7 +14,10 @@
 // the outputs to the pre-unification implementations bit for bit.
 package encoding
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // BinarizeThreshold is the paper's k-sparse firing cut: a feature's bit is
 // set when its scaled statistic reaches this value. Consumers inspecting
@@ -169,6 +172,71 @@ func Margin(bias float64, w []float64, fired []bool) float64 {
 		if f {
 			s += w[i]
 			norm += math.Abs(w[i])
+		}
+	}
+	if norm == 0 {
+		return 0
+	}
+	v := s / norm
+	if v > 1 {
+		v = 1
+	} else if v < -1 {
+		v = -1
+	}
+	return v
+}
+
+// BitsPacked is Bits with the fired set emitted as a bit-packed BitVec
+// instead of a []bool — the serving shard path's form, where one packed
+// vector feeds a MarginPacked sweep per model (detector, or one per
+// classifier class) without re-walking the raw sample. Semantics are
+// identical to Bits: negative/out-of-range indices and non-finite raw
+// values are masked and avail counts the observable slots. The result is
+// written into dst (pass nil or a short dst to allocate); dst is cleared
+// first.
+func (e *Encoding) BitsPacked(raw []float64, indices []int, point int, dst BitVec) (bits BitVec, avail int) {
+	if words := (len(indices) + 63) / 64; len(dst) < words {
+		dst = make(BitVec, words)
+	} else {
+		dst = dst[:words]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for slot, j := range indices {
+		if j < 0 || j >= len(raw) {
+			continue
+		}
+		v := raw[j]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		avail++
+		mx := e.Max(slot, point)
+		if mx <= 0 {
+			continue
+		}
+		if v/mx >= BinarizeThreshold {
+			dst.Set(slot)
+		}
+	}
+	return dst, avail
+}
+
+// MarginPacked is Margin over a bit-packed fired set, iterating set words
+// only. Set bits are visited in ascending slot order — the same float
+// accumulation order as Margin — so the two are bit-identical (pinned by
+// the packed equivalence tests).
+func MarginPacked(bias float64, w []float64, fired BitVec) float64 {
+	s := bias
+	norm := math.Abs(bias)
+	for wi, word := range fired {
+		base := wi << 6
+		for word != 0 {
+			j := base + bits.TrailingZeros64(word)
+			s += w[j]
+			norm += math.Abs(w[j])
+			word &= word - 1
 		}
 	}
 	if norm == 0 {

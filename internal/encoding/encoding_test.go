@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -108,5 +109,96 @@ func TestIdentity(t *testing.T) {
 	id := Identity(3)
 	if len(id) != 3 || id[0] != 0 || id[2] != 2 {
 		t.Fatalf("identity = %v", id)
+	}
+}
+
+// TestBitsPackedMatchesBits: the packed serving-path kernels must be
+// bit-identical to the dense Bits+Margin pair over adversarial inputs —
+// masked counters, NaN/Inf faults, never-fired maxima, >64 features (word
+// boundaries), negative weights.
+func TestBitsPackedMatchesBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nf = 131 // spans three words with a ragged tail
+	e := New(nf)
+	maxima := make([]float64, nf)
+	for i := range maxima {
+		if rng.Float64() < 0.1 {
+			maxima[i] = 0 // never fired in training
+		} else {
+			maxima[i] = 1 + rng.Float64()*9
+		}
+	}
+	copy(e.GlobalMax, maxima)
+	e.PerPoint = [][]float64{append([]float64(nil), maxima...)}
+
+	w := make([]float64, nf)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	indices := make([]int, nf)
+	raw := make([]float64, nf+10)
+	var packed BitVec
+	for trial := 0; trial < 200; trial++ {
+		for i := range indices {
+			switch {
+			case rng.Float64() < 0.1:
+				indices[i] = -1 // unresolved counter
+			case rng.Float64() < 0.05:
+				indices[i] = len(raw) + 3 // out of range
+			default:
+				indices[i] = rng.Intn(len(raw))
+			}
+		}
+		for i := range raw {
+			switch {
+			case rng.Float64() < 0.15:
+				raw[i] = math.NaN()
+			case rng.Float64() < 0.05:
+				raw[i] = math.Inf(1)
+			default:
+				raw[i] = rng.Float64() * 12
+			}
+		}
+		point := rng.Intn(3) - 1 // exercise per-point and global maxima
+		dense, availD := e.Bits(raw, indices, point, nil)
+		var availP int
+		packed, availP = e.BitsPacked(raw, indices, point, packed)
+		if availD != availP {
+			t.Fatalf("trial %d: avail dense=%d packed=%d", trial, availD, availP)
+		}
+		for i, f := range dense {
+			if packed.Get(i) != f {
+				t.Fatalf("trial %d: bit %d dense=%v packed=%v", trial, i, f, packed.Get(i))
+			}
+		}
+		bias := rng.NormFloat64()
+		if got, want := MarginPacked(bias, w, packed), Margin(bias, w, dense); got != want {
+			t.Fatalf("trial %d: MarginPacked = %v, Margin = %v", trial, got, want)
+		}
+	}
+	// dst reuse: a sufficiently long dst keeps its backing array and is
+	// cleared before packing.
+	buf := NewBitVec(nf)
+	for i := range buf {
+		buf[i] = ^uint64(0)
+	}
+	out, _ := e.BitsPacked(make([]float64, nf), Identity(nf), -1, buf)
+	if &out[0] != &buf[0] {
+		t.Fatalf("dst was reallocated despite sufficient capacity")
+	}
+	if out.Ones() != 0 {
+		t.Fatalf("dst not cleared: %d stale bits", out.Ones())
+	}
+}
+
+func TestMarginPackedZeroNorm(t *testing.T) {
+	if m := MarginPacked(0, []float64{1, 2}, NewBitVec(2)); m != 0 {
+		t.Fatalf("zero-norm packed margin = %v, want 0", m)
+	}
+	// Clamping matches Margin.
+	v := NewBitVec(1)
+	v.Set(0)
+	if m := MarginPacked(5, []float64{1}, v); m != 1 {
+		t.Fatalf("packed margin = %v, want clamp to 1", m)
 	}
 }

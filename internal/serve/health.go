@@ -15,15 +15,32 @@ type WorkerHealth struct {
 	Episodes int64   `json:"episodes"`
 	Failures int64   `json:"failures"`
 	Restarts int64   `json:"restarts"` // goroutine restarts after a panic
+	Sheds    int64   `json:"sheds"`    // samples shed by admission control
 	LastErr  string  `json:"last_error,omitempty"`
 }
 
+// ShardHealth is one scoring shard's row in the /healthz report.
+type ShardHealth struct {
+	Shard    int     `json:"shard"`
+	Depth    int     `json:"depth"`    // samples queued now
+	Capacity int     `json:"capacity"` // ring buffer cap
+	Pressure float64 `json:"pressure"` // smoothed (EWMA) depth/capacity
+	LoadMode string  `json:"load_mode"`
+	Breaker  string  `json:"breaker"`
+	Down     bool    `json:"down"` // ring routes around a down shard
+	Enqueued int64   `json:"enqueued"`
+	Scored   int64   `json:"scored"`
+	Shed     int64   `json:"shed"`
+	Panics   int64   `json:"panics"`
+}
+
 // Health is the /healthz body: overall status, the live model versions, the
-// hot-reload ledger and per-worker state.
+// hot-reload ledger, per-worker and per-shard state.
 type Health struct {
-	// Status is "ok" (every worker on its top rung, breakers closed),
-	// "degraded" (any worker on a lower rung, an open breaker, or a
-	// rolled-back reload), or "draining" (shutdown in progress).
+	// Status is "ok" (every worker on its top rung, breakers closed, no
+	// shard down or load-degraded), "degraded" (any worker or shard on a
+	// lower rung, an open breaker, a down shard, a rolled-back reload, or a
+	// failing verdict log), or "draining" (shutdown in progress).
 	Status            string         `json:"status"`
 	Ready             bool           `json:"ready"`
 	DetectorVersion   string         `json:"detector_version"`
@@ -33,14 +50,16 @@ type Health struct {
 	ReloadError       string         `json:"reload_error,omitempty"`
 	LastReloadAt      string         `json:"last_reload_at,omitempty"`
 	Verdicts          int            `json:"verdicts"`
+	LogError          string         `json:"log_error,omitempty"`
 	Workers           []WorkerHealth `json:"workers"`
+	Shards            []ShardHealth  `json:"shards"`
 }
 
 // Health snapshots the supervisor for the health endpoints (and tests).
 func (s *Supervisor) Health() Health {
 	h := Health{
-		Status:  "ok",
-		Ready:   s.ready.Load(),
+		Status:   "ok",
+		Ready:    s.ready.Load(),
 		Verdicts: s.log.count(),
 	}
 	h.DetectorVersion, h.ClassifierVersion = s.models.Load().Versions()
@@ -51,7 +70,10 @@ func (s *Supervisor) Health() Health {
 			h.LastReloadAt = lastOk.UTC().Format(time.RFC3339)
 		}
 	}
-	degraded := h.ReloadError != ""
+	if err := s.log.err(); err != nil {
+		h.LogError = err.Error()
+	}
+	degraded := h.ReloadError != "" || h.LogError != ""
 	topMode := "detector"
 	if s.models.Load().Cls != nil {
 		topMode = "classifier"
@@ -67,6 +89,7 @@ func (s *Supervisor) Health() Health {
 			Episodes: w.episodes.Load(),
 			Failures: w.failures.Load(),
 			Restarts: w.restarts.Load(),
+			Sheds:    w.sheds.Load(),
 		}
 		if e := w.lastErr.Load(); e != nil {
 			wh.LastErr = *e
@@ -75,6 +98,27 @@ func (s *Supervisor) Health() Health {
 			degraded = true
 		}
 		h.Workers = append(h.Workers, wh)
+	}
+	for _, sh := range s.shards {
+		mode, headroom := sh.load.snapshot()
+		brk, _, _ := sh.breaker.snapshot()
+		shh := ShardHealth{
+			Shard:    sh.id,
+			Depth:    sh.depth(),
+			Capacity: sh.cap,
+			Pressure: 1 - headroom, // the load ladder smooths headroom
+			LoadMode: mode.String(),
+			Breaker:  brk,
+			Down:     sh.down.Load(),
+			Enqueued: sh.enqueued.Load(),
+			Scored:   sh.scored.Load(),
+			Shed:     sh.shed.Load(),
+			Panics:   sh.panics.Load(),
+		}
+		if shh.Down || shh.LoadMode != topMode || shh.Breaker != "closed" {
+			degraded = true
+		}
+		h.Shards = append(h.Shards, shh)
 	}
 	if degraded {
 		h.Status = "degraded"
@@ -102,13 +146,22 @@ func (s *Supervisor) Healthz() http.Handler {
 	})
 }
 
-// Readyz answers 200 once the initial checkpoints are loaded and the
-// workers are running, 503 before that and while draining.
+// Readyz answers 200 once the initial checkpoints are loaded and the workers
+// are running, 503 before that and while draining. The body is truthful
+// about partial health: "ok" only when nothing is degraded, "degraded" when
+// the service is up but shedding, load-degraded, or running on a lower
+// ladder rung — still 200, because degraded-but-serving is exactly what the
+// overload machinery exists to provide, but callers that care can read the
+// body (or /healthz) instead of trusting the status code alone.
 func (s *Supervisor) Readyz() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		if s.ready.Load() && !s.draining.Load() {
 			w.WriteHeader(http.StatusOK)
-			w.Write([]byte("ok\n"))
+			if s.Health().Status == "degraded" {
+				w.Write([]byte("degraded\n"))
+			} else {
+				w.Write([]byte("ok\n"))
+			}
 			return
 		}
 		w.WriteHeader(http.StatusServiceUnavailable)

@@ -1,0 +1,378 @@
+package serve
+
+// The bounded ingest stage: the overload-control seam between stream
+// workers (producers) and scoring (consumers). Workers never score inline —
+// each raw sample is routed over the consistent-hash ring to a shard's
+// fixed-capacity ring buffer, and one scorer goroutine per shard drains
+// batches through a single bit-packed RawScorer sweep. The queue depth cap
+// is the overload contract: when a shard fills, admission control sheds
+// deterministically (oldest benign-stream sample first, then oldest
+// overall; an incoming benign sample yields to queued attack samples), and
+// every shed is counted and stamped into the verdict log — the service
+// degrades loudly, never silently. Sustained queue pressure additionally
+// walks the shard's load rung down the degradation ladder (see degrade.go)
+// so scoring gets cheaper before latency collapses.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perspectron"
+	"perspectron/internal/telemetry"
+)
+
+// ingestItem is one raw sample in flight between a stream worker and a
+// shard scorer.
+type ingestItem struct {
+	w          *worker
+	episode    int
+	sample     perspectron.RawSample
+	enqueuedAt time.Time
+}
+
+// shard is one scoring lane: a bounded ring buffer of pending samples, a
+// load-rung ladder fed by queue pressure, and a breaker that opens after
+// repeated scorer panics (marking the shard down so the ring routes around
+// it).
+type shard struct {
+	id  int
+	cap int
+
+	load    *ladder  // load rung: observes headroom = 1 - pressure
+	breaker *breaker // consecutive scorer-batch panics open it
+
+	mu   sync.Mutex
+	buf  []*ingestItem // fixed-capacity ring
+	head int           // index of the oldest item
+	n    int           // items queued
+
+	notify chan struct{} // 1-buffered enqueue wake-up for the scorer
+
+	enqueued atomic.Int64
+	scored   atomic.Int64 // dequeued and logged (including error verdicts)
+	shed     atomic.Int64
+	panics   atomic.Int64
+	down     atomic.Bool // breaker-open mirror the ring can read lock-free
+}
+
+func newShard(id, capacity int, load *ladder, brk *breaker) *shard {
+	return &shard{
+		id:      id,
+		cap:     capacity,
+		load:    load,
+		breaker: brk,
+		buf:     make([]*ingestItem, capacity),
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// depth returns the number of queued items.
+func (sh *shard) depth() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n
+}
+
+// pressure returns depth/capacity in [0, 1].
+func (sh *shard) pressure() float64 {
+	return float64(sh.depth()) / float64(sh.cap)
+}
+
+// enqueue admits it, shedding if the ring is full. It returns the item that
+// was shed (nil when the ring had room), whether it itself was admitted
+// (false only when the incoming item was the shed victim), and the
+// post-admission pressure. The caller logs the shed — shedding under the
+// shard lock would invert the lock order with the verdict log.
+//
+// Shed policy, deterministic by construction: evict the oldest queued
+// sample from a benign-labeled stream first (attack-stream verdicts are the
+// ones worth latency); if every queued sample is from an attack stream, an
+// incoming benign sample yields to them, and an incoming attack sample
+// evicts the oldest queued one.
+func (sh *shard) enqueue(it *ingestItem) (victim *ingestItem, admitted bool, pressure float64) {
+	sh.mu.Lock()
+	defer func() {
+		pressure = float64(sh.n) / float64(sh.cap)
+		sh.mu.Unlock()
+		select { // wake the scorer; a pending wake-up covers this enqueue
+		case sh.notify <- struct{}{}:
+		default:
+		}
+	}()
+	if sh.n == sh.cap {
+		if i, ok := sh.findOldestBenign(); ok {
+			victim = sh.removeAt(i)
+		} else if it.w.benign {
+			sh.enqueued.Add(1) // it entered admission control, then was shed
+			sh.shed.Add(1)
+			return it, false, 0
+		} else {
+			victim = sh.removeAt(0) // oldest overall
+		}
+		sh.shed.Add(1)
+	}
+	sh.buf[(sh.head+sh.n)%sh.cap] = it
+	sh.n++
+	sh.enqueued.Add(1)
+	return victim, true, 0
+}
+
+// findOldestBenign scans oldest→newest for the first benign-stream item,
+// returning its ring offset. Only called on a full ring, i.e. already
+// shedding — the O(depth) scan is the cost of shedding precisely, not of
+// the fast path.
+func (sh *shard) findOldestBenign() (int, bool) {
+	for i := 0; i < sh.n; i++ {
+		if sh.buf[(sh.head+i)%sh.cap].w.benign {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// removeAt removes and returns the item at ring offset i (0 = oldest),
+// shifting the gap toward the head (cheapest for the near-head offsets the
+// shed policy picks).
+func (sh *shard) removeAt(i int) *ingestItem {
+	idx := (sh.head + i) % sh.cap
+	out := sh.buf[idx]
+	for ; i > 0; i-- {
+		prev := (sh.head + i - 1) % sh.cap
+		cur := (sh.head + i) % sh.cap
+		sh.buf[cur] = sh.buf[prev]
+	}
+	sh.buf[sh.head] = nil
+	sh.head = (sh.head + 1) % sh.cap
+	sh.n--
+	return out
+}
+
+// dequeueBatch pops up to max oldest items.
+func (sh *shard) dequeueBatch(max int, dst []*ingestItem) []*ingestItem {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	k := sh.n
+	if k > max {
+		k = max
+	}
+	for i := 0; i < k; i++ {
+		idx := (sh.head + i) % sh.cap
+		dst = append(dst, sh.buf[idx])
+		sh.buf[idx] = nil
+	}
+	sh.head = (sh.head + k) % sh.cap
+	sh.n -= k
+	return dst
+}
+
+// route hashes the worker's stream onto a healthy shard and enqueues one
+// raw sample, logging any shed verdict and returning the target shard's
+// post-admission pressure (the producer's backpressure signal).
+func (s *Supervisor) route(w *worker, episode int, rs perspectron.RawSample) float64 {
+	sh := s.shards[s.ring.lookup(w.name, s.shardHealthy)]
+	it := &ingestItem{w: w, episode: episode, sample: rs, enqueuedAt: time.Now()}
+	victim, admitted, pressure := sh.enqueue(it)
+	if victim != nil || !admitted {
+		shedIt := victim
+		if shedIt == nil {
+			shedIt = it
+		}
+		s.logShed(sh, shedIt)
+	}
+	return pressure
+}
+
+// shardHealthy reports whether shard i can accept new streams — the ring's
+// liveness callback.
+func (s *Supervisor) shardHealthy(i int) bool { return !s.shards[i].down.Load() }
+
+// logShed stamps one shed sample into the verdict log and telemetry. A shed
+// is never silent: it produces a verdict record (mode "shed") exactly like
+// a scored sample would, so downstream consumers see the gap.
+func (s *Supervisor) logShed(sh *shard, it *ingestItem) {
+	it.w.sheds.Add(1)
+	telemetry.Get().Counter(telemetry.Name("perspectron_serve_shed_total", "worker", it.w.name)).Inc()
+	rec := VerdictRecord{
+		Worker:  it.w.name,
+		Episode: it.episode,
+		Sample:  it.sample.Sample,
+		Mode:    "shed",
+		Shed:    true,
+		Shard:   sh.id,
+	}
+	s.log.record(rec)
+	s.observe(rec)
+}
+
+// producersDone reports whether every stream worker has exited — the
+// scorers' signal to finish draining and stop.
+func (s *Supervisor) producersDone() bool {
+	select {
+	case <-s.produceDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// scoreShard is one shard's consumer loop: wait for work, drain a batch,
+// score it through the packed RawScorer, repeat. It exits only when the
+// producers are done AND the queue is empty, so no admitted sample is ever
+// dropped unlogged. A panic in a batch (scoring bug, chaos injection) is
+// recovered per item — the poisoned item still yields a verdict record
+// (mode "error") — and counted against the shard breaker: repeated panics
+// mark the shard down, the ring routes new streams around it, and after the
+// cooldown a trial batch either recovers it or re-opens.
+func (s *Supervisor) scoreShard(sh *shard) {
+	reg := telemetry.Get()
+	reg.Gauge("perspectron_serve_scorers_running").Add(1)
+	defer reg.Gauge("perspectron_serve_scorers_running").Add(-1)
+	tick := time.NewTicker(s.cfg.ScoreTick)
+	defer tick.Stop()
+	var cache scorerCache
+	batch := make([]*ingestItem, 0, s.cfg.Batch)
+	for {
+		if sh.depth() == 0 {
+			if s.producersDone() {
+				return
+			}
+			select {
+			case <-sh.notify:
+			case <-tick.C:
+			case <-s.produceDone:
+			}
+			continue
+		}
+		// Breaker gate: an open shard holds off between trial batches — but
+		// never during drain, when finishing the queue outranks caution.
+		if !s.producersDone() && !sh.breaker.allow() {
+			sh.down.Store(true)
+			select {
+			case <-time.After(s.cfg.BreakerCooldown / 4):
+			case <-s.produceDone:
+			}
+			continue
+		}
+		// Fold queue pressure into the load rung once per batch, before
+		// draining: the rung must see the backlog, not the post-drain lull.
+		if _, changed := sh.load.observeLoad(sh.pressure()); changed {
+			mode, _ := sh.load.snapshot()
+			reg.Counter(telemetry.Name("perspectron_serve_load_mode_changes_total", "mode", mode.String())).Inc()
+		}
+		loadMode, _ := sh.load.snapshot()
+		batch = sh.dequeueBatch(s.cfg.Batch, batch[:0])
+		panicked := false
+		for _, it := range batch {
+			if !s.scoreItem(sh, &cache, it, loadMode) {
+				panicked = true
+			}
+		}
+		if panicked {
+			sh.panics.Add(1)
+			reg.Counter(telemetry.Name("perspectron_serve_scorer_panics_total", "shard", fmt.Sprint(sh.id))).Inc()
+			if sh.breaker.failure() {
+				sh.down.Store(true)
+				reg.Counter(telemetry.Name("perspectron_serve_shard_down_total", "shard", fmt.Sprint(sh.id))).Inc()
+			}
+		} else {
+			sh.breaker.success()
+			sh.down.Store(false)
+		}
+	}
+}
+
+// scorerCache memoizes the RawScorer for the current model generation so a
+// hot-reload rebuilds packed state once per shard, not once per sample.
+type scorerCache struct {
+	mdl    *Models
+	scorer *perspectron.RawScorer
+}
+
+func (c *scorerCache) get(mdl *Models) (*perspectron.RawScorer, error) {
+	if c.scorer != nil && c.mdl == mdl {
+		return c.scorer, nil
+	}
+	scorer, err := perspectron.NewRawScorer(mdl.Det, mdl.Cls)
+	if err != nil {
+		return nil, err
+	}
+	c.mdl, c.scorer = mdl, scorer
+	return scorer, nil
+}
+
+// scoreItem scores one sample end to end: packed detector margin, coverage
+// into the worker's ladder, effective mode = the worse of the coverage rung
+// and the shard's load rung, classifier naming only on the top rung. It
+// reports false when scoring panicked; the item is still logged (mode
+// "error") so the verdict accounting stays exact.
+func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, loadMode perspectron.ServeMode) (ok bool) {
+	ok = true
+	rec := VerdictRecord{
+		Worker:  it.w.name,
+		Episode: it.episode,
+		Sample:  it.sample.Sample,
+		Shard:   sh.id,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			msg := fmt.Sprintf("scorer panic: %v", r)
+			it.w.lastErr.Store(&msg)
+			rec.Mode = "error"
+			rec.Error = msg
+		}
+		rec.LatencyMs = float64(time.Since(it.enqueuedAt)) / float64(time.Millisecond)
+		s.log.record(rec)
+		s.observe(rec)
+		sh.scored.Add(1)
+		reg := telemetry.Get()
+		reg.Histogram("perspectron_serve_verdict_latency_seconds", latencyBounds).
+			Observe(time.Since(it.enqueuedAt).Seconds())
+		reg.Counter(telemetry.Name("perspectron_serve_verdicts_total", "mode", rec.Mode)).Inc()
+	}()
+	if hook := s.scoreHook; hook != nil {
+		hook(it)
+	}
+	scorer, err := cache.get(s.models.Load())
+	if err != nil {
+		panic(err) // surfaces as an error verdict + breaker pressure
+	}
+	score, flagged, coverage := scorer.Detect(it.sample)
+	covMode, changed := it.w.ladder.observe(coverage)
+	if changed {
+		telemetry.Get().Counter(telemetry.Name("perspectron_serve_mode_changes_total", "mode", covMode.String())).Inc()
+	}
+	mode := maxMode(covMode, loadMode)
+	class := ""
+	switch mode {
+	case perspectron.ModeClassifier:
+		cl, _, _ := scorer.Classify(it.sample)
+		if cl != "" {
+			class, flagged = cl, cl != "benign"
+		}
+	case perspectron.ModeThreshold:
+		flagged = score > 0
+	}
+	if flagged {
+		telemetry.Get().Counter(telemetry.Name("perspectron_serve_flagged_total", "worker", it.w.name)).Inc()
+	}
+	rec.Mode = mode.String()
+	rec.Score = score
+	rec.Class = class
+	rec.Flagged = flagged
+	rec.Coverage = coverage
+	return ok
+}
+
+// observe feeds the optional per-verdict test observer.
+func (s *Supervisor) observe(rec VerdictRecord) {
+	if s.onVerdict != nil {
+		s.onVerdict(rec)
+	}
+}
+
+// latencyBounds buckets verdict latency from 100µs to ~10s.
+var latencyBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}

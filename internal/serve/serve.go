@@ -1,18 +1,23 @@
 // Package serve is the resilient long-running detection service around the
 // perspectron models: a supervisor runs one monitor worker per workload
-// stream, each worker scoring episodes (whole runs) through the streaming
-// Session API. Worker panics are recovered, failed episodes restart with
-// jittered exponential backoff behind a per-worker circuit breaker, model
+// stream, each worker streaming raw samples through the Session API into a
+// bounded ingest stage — per-shard ring buffers over a consistent-hash ring
+// — where shard scorers batch-score them through the bit-packed RawScorer
+// path. Worker panics are recovered, failed episodes restart with jittered
+// exponential backoff behind a per-worker circuit breaker, model
 // checkpoints hot-reload from disk with rollback to the last good version,
 // and scoring degrades through an explicit ladder (classifier → detector →
-// threshold policy) as counter coverage drops. Liveness and model state are
-// exposed on /healthz and /readyz next to /metrics. See docs/SERVICE.md.
+// threshold policy) as counter coverage drops or queue pressure rises; a
+// full queue sheds deterministically and loudly (every shed is logged and
+// counted). Liveness and model state are exposed on /healthz and /readyz
+// next to /metrics. See docs/SERVICE.md.
 package serve
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +25,7 @@ import (
 	"perspectron"
 	"perspectron/internal/retry"
 	"perspectron/internal/telemetry"
+	"perspectron/internal/workload"
 )
 
 // Config configures a Supervisor. Zero-valued durations and floors fall
@@ -66,10 +72,34 @@ type Config struct {
 	// ClassifierFloor and DetectorFloor are the smoothed-coverage levels
 	// below which the ladder abandons the classifier (default 0.9) and the
 	// detector (default 0.5); Hysteresis is the climb-back margin
-	// (default 0.05).
+	// (default 0.05), shared with the load rung.
 	ClassifierFloor float64
 	DetectorFloor   float64
 	Hysteresis      float64
+
+	// Shards is the number of scoring lanes samples are hashed onto
+	// (default min(GOMAXPROCS, 8)); RingReplicas the virtual nodes per
+	// shard on the consistent-hash ring (default 16).
+	Shards       int
+	RingReplicas int
+	// QueueDepth caps each shard's pending-sample ring buffer (default
+	// 1024). A full ring sheds — oldest benign-stream sample first — and
+	// every shed is logged and counted, never silent.
+	QueueDepth int
+	// Batch bounds how many samples one scorer tick drains (default 256);
+	// ScoreTick is the scorer's fallback wake-up when no enqueue signal
+	// arrives (default 5ms).
+	Batch     int
+	ScoreTick time.Duration
+	// LoadHigh and LoadCritical are the smoothed queue-pressure marks
+	// (depth/capacity) at which a shard's load rung abandons the classifier
+	// (default 0.75) and the detector (default 0.9) — degrading scoring
+	// cost before latency collapses. Producers also start pacing (Pace
+	// sleep per sample, default 1ms) once their shard crosses LoadHigh:
+	// the backpressure half of the contract.
+	LoadHigh     float64
+	LoadCritical float64
+	Pace         time.Duration
 
 	// PollInterval is the checkpoint watcher's cadence (default 500ms;
 	// negative disables watching).
@@ -125,6 +155,36 @@ func (c *Config) withDefaults() Config {
 	if out.PollInterval == 0 {
 		out.PollInterval = 500 * time.Millisecond
 	}
+	if out.Shards <= 0 {
+		out.Shards = runtime.GOMAXPROCS(0)
+		if out.Shards > 8 {
+			out.Shards = 8
+		}
+	}
+	if out.RingReplicas <= 0 {
+		out.RingReplicas = 16
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 1024
+	}
+	if out.Batch <= 0 {
+		out.Batch = 256
+	}
+	if out.ScoreTick <= 0 {
+		out.ScoreTick = 5 * time.Millisecond
+	}
+	if out.LoadHigh <= 0 || out.LoadHigh > 1 {
+		out.LoadHigh = 0.75
+	}
+	if out.LoadCritical <= 0 || out.LoadCritical > 1 {
+		out.LoadCritical = 0.9
+	}
+	if out.LoadCritical < out.LoadHigh {
+		out.LoadCritical = out.LoadHigh
+	}
+	if out.Pace <= 0 {
+		out.Pace = time.Millisecond
+	}
 	return out
 }
 
@@ -133,26 +193,41 @@ type worker struct {
 	id       int
 	name     string
 	prog     perspectron.Workload
+	benign   bool // ground-truth label, drives the shed policy
 	breaker  *breaker
 	ladder   *ladder
 	episodes atomic.Int64 // completed episodes
 	failures atomic.Int64 // failed episodes
 	restarts atomic.Int64 // goroutine restarts after a panic
+	sheds    atomic.Int64 // samples shed by admission control
 	lastErr  atomic.Pointer[string]
 }
 
-// Supervisor owns the workers, the model pointer, the checkpoint watcher
-// and the health surface. Create with New, drive with Run.
+// Supervisor owns the workers, the shard ring, the model pointer, the
+// checkpoint watcher and the health surface. Create with New, drive with
+// Run.
 type Supervisor struct {
 	cfg     Config
 	models  atomic.Pointer[Models]
 	watch   *watcher
 	workers []*worker
+	ring    *ring
+	shards  []*shard
 	log     *verdictLog
+
+	// produceDone closes once every stream worker has exited; scorers then
+	// finish draining their queues and stop. Created by Run.
+	produceDone chan struct{}
 
 	ready    atomic.Bool
 	draining atomic.Bool
 	running  atomic.Int64 // workers currently live
+
+	// scoreHook (tests only) runs before each sample is scored — the chaos
+	// harness's scorer-panic injection point. onVerdict (tests only)
+	// observes every verdict record after logging.
+	scoreHook func(*ingestItem)
+	onVerdict func(VerdictRecord)
 }
 
 // New loads the initial models (from Config.Detector/Classifier or the
@@ -190,9 +265,18 @@ func New(cfg Config) (*Supervisor, error) {
 			id:      i,
 			name:    w.Info().Name,
 			prog:    w,
+			benign:  w.Info().Label == workload.Benign,
 			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 			ladder:  newLadder(cfg.ClassifierFloor, cfg.DetectorFloor, cfg.Hysteresis, cls != nil),
 		})
+	}
+	s.ring = newRing(cfg.Shards, cfg.RingReplicas)
+	for i := 0; i < cfg.Shards; i++ {
+		// The load rung reuses the coverage ladder on headroom = 1-pressure,
+		// so its floors are the complements of the pressure marks.
+		load := newLadder(1-cfg.LoadHigh, 1-cfg.LoadCritical, cfg.Hysteresis, cls != nil)
+		s.shards = append(s.shards, newShard(i, cfg.QueueDepth, load,
+			newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)))
 	}
 	return s, nil
 }
@@ -204,14 +288,17 @@ func (s *Supervisor) Models() *Models { return s.models.Load() }
 // drain use instead of waiting out PollInterval.
 func (s *Supervisor) pollNow() {
 	if s.watch != nil {
+		s.watch.forcePoll()
 		s.watch.tick()
 	}
 }
 
-// Run starts the watcher and one goroutine per worker, then blocks until
-// every worker finishes (MaxEpisodes) or ctx ends. On ctx cancellation it
-// drains: workers stop at their next sample, the verdict log flushes, and
-// Run returns with zero goroutines left behind.
+// Run starts the watcher, one scorer goroutine per shard, and one producer
+// goroutine per worker, then blocks until every worker finishes
+// (MaxEpisodes) or ctx ends. On ctx cancellation it drains: workers stop at
+// their next sample, scorers finish every queued sample (each one scored or
+// shed — never dropped), the verdict log flushes, and Run returns with zero
+// goroutines left behind.
 func (s *Supervisor) Run(ctx context.Context) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -223,6 +310,15 @@ func (s *Supervisor) Run(ctx context.Context) error {
 			defer watchWg.Done()
 			s.watch.run(runCtx)
 		}()
+	}
+	s.produceDone = make(chan struct{})
+	var scorerWg sync.WaitGroup
+	for _, sh := range s.shards {
+		scorerWg.Add(1)
+		go func(sh *shard) {
+			defer scorerWg.Done()
+			s.scoreShard(sh)
+		}(sh)
 	}
 	var workerWg sync.WaitGroup
 	for _, w := range s.workers {
@@ -245,6 +341,8 @@ func (s *Supervisor) Run(ctx context.Context) error {
 		<-workersDone
 	}
 	s.draining.Store(true)
+	close(s.produceDone) // scorers drain their queues and exit
+	scorerWg.Wait()
 	cancel() // release the watcher
 	watchWg.Wait()
 	if err := s.log.flush(); err != nil {
@@ -324,17 +422,18 @@ func (s *Supervisor) runEpisodeLoop(ctx context.Context, w *worker) (normal bool
 	return true
 }
 
-// episode runs the workload once end to end, scoring every sample under the
-// per-sample deadline with whatever model rung the ladder selects. Workload
-// panics surface as errors through the session; a stall past SampleTimeout
-// fails the episode.
+// episode runs the workload once end to end as a pure producer: each raw
+// sample is routed into the ingest stage under the per-sample deadline —
+// scoring happens on the shard scorers, not here. When the target shard is
+// past LoadHigh the producer paces (sleeps Pace per sample): the
+// backpressure half of the overload contract. Workload panics surface as
+// errors through the session; a stall past SampleTimeout fails the episode.
 func (s *Supervisor) episode(ctx context.Context, w *worker, episode int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("episode panic: %v", r)
 		}
 	}()
-	reg := telemetry.Get()
 	epCtx, cancel := context.WithTimeout(ctx, s.cfg.EpisodeTimeout)
 	defer cancel()
 
@@ -352,7 +451,7 @@ func (s *Supervisor) episode(ctx context.Context, w *worker, episode int) (err e
 
 	for {
 		sampleCtx, sampleCancel := context.WithTimeout(epCtx, s.cfg.SampleTimeout)
-		v, ok := sess.Next(sampleCtx)
+		rs, ok := sess.NextRaw(sampleCtx)
 		stalled := sampleCtx.Err() == context.DeadlineExceeded
 		sampleCancel()
 		if !ok {
@@ -364,45 +463,13 @@ func (s *Supervisor) episode(ctx context.Context, w *worker, episode int) (err e
 			}
 			break // run genuinely ended
 		}
-		mode, changed := w.ladder.observe(v.Coverage)
-		if changed {
-			reg.Counter(telemetry.Name("perspectron_serve_mode_changes_total", "mode", mode.String())).Inc()
+		if pressure := s.route(w, episode, rs); pressure >= s.cfg.LoadHigh {
+			if !sleepCtx(epCtx, s.cfg.Pace) {
+				break // drain or deadline; the session loop surfaces which
+			}
 		}
-		flagged, class := decide(mode, v, mdl)
-		if flagged {
-			reg.Counter(telemetry.Name("perspectron_serve_flagged_total", "worker", w.name)).Inc()
-		}
-		reg.Counter(telemetry.Name("perspectron_serve_verdicts_total", "mode", mode.String())).Inc()
-		s.log.record(VerdictRecord{
-			Worker:  w.name,
-			Episode: episode,
-			Sample:  v.Sample,
-			Mode:    mode.String(),
-			Score:   v.Score,
-			Class:   class,
-			Flagged: flagged,
-			Coverage: v.Coverage,
-		})
 	}
 	return sess.Err()
-}
-
-// decide maps one verdict through the active rung: the classifier names the
-// class (flagged = non-benign), the detector applies its trained threshold,
-// and the threshold rung is the bare sign test on the renormalized margin —
-// usable at any nonzero coverage.
-func decide(mode perspectron.ServeMode, v *perspectron.Verdict, mdl *Models) (flagged bool, class string) {
-	switch mode {
-	case perspectron.ModeClassifier:
-		if mdl.Cls != nil {
-			return v.Class != "benign", v.Class
-		}
-		return v.Flagged, ""
-	case perspectron.ModeThreshold:
-		return v.Score > 0, ""
-	default:
-		return v.Flagged, ""
-	}
 }
 
 // sleepCtx sleeps d or until ctx ends, reporting false on cancellation.

@@ -31,7 +31,7 @@ var (
 	modelsErr  error
 )
 
-func testModels(t *testing.T) (*perspectron.Detector, *perspectron.Classifier) {
+func testModels(t testing.TB) (*perspectron.Detector, *perspectron.Classifier) {
 	t.Helper()
 	modelsOnce.Do(func() {
 		opts := perspectron.DefaultOptions()

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"os"
 	"sync"
 )
 
-// VerdictRecord is one scored sampling interval as it appears in the
-// verdict log (JSON lines).
+// VerdictRecord is one sample's outcome as it appears in the verdict log
+// (JSON lines): scored, shed by admission control, or failed in the scorer.
+// Every sample admitted to the ingest stage produces exactly one record.
 type VerdictRecord struct {
 	Worker  string  `json:"worker"`
 	Episode int     `json:"episode"`
@@ -20,16 +22,28 @@ type VerdictRecord struct {
 	// Coverage is the raw per-sample feature coverage (the ladder smooths
 	// its own copy).
 	Coverage float64 `json:"coverage"`
+	// Shard is the scoring lane the sample was routed to.
+	Shard int `json:"shard"`
+	// Shed marks a sample dropped by admission control (mode "shed") — the
+	// record is the loud half of the shed contract.
+	Shed bool `json:"shed,omitempty"`
+	// LatencyMs is enqueue-to-verdict latency for scored samples.
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+	// Error carries the scorer failure for mode "error" records.
+	Error string `json:"error,omitempty"`
 }
 
 // verdictLog serializes verdict records from all workers onto one buffered
-// JSONL writer. flush is called on drain (SIGTERM) so a terminated service
-// never loses buffered verdicts.
+// JSONL writer. flush is called on drain (SIGTERM); write errors are sticky
+// and surfaced there — a terminated service never loses buffered verdicts
+// silently.
 type verdictLog struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	n   int
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	sink    io.Writer
+	n       int
+	lastErr error // first write/flush error, sticky until reported
 }
 
 func newVerdictLog(w io.Writer) *verdictLog {
@@ -37,29 +51,57 @@ func newVerdictLog(w io.Writer) *verdictLog {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
-	return &verdictLog{bw: bw, enc: json.NewEncoder(bw)}
+	return &verdictLog{bw: bw, enc: json.NewEncoder(bw), sink: w}
 }
 
 // record appends one verdict line. Nil receivers (no log configured) are
-// no-ops, mirroring the telemetry instruments.
+// no-ops, mirroring the telemetry instruments. A failed encode is remembered
+// (first error wins) and reported by the next flush — record itself stays
+// non-blocking for the scoring hot path.
 func (l *verdictLog) record(v VerdictRecord) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.enc.Encode(v)
+	if err := l.enc.Encode(v); err != nil && l.lastErr == nil {
+		l.lastErr = err
+	}
 	l.n++
 	l.mu.Unlock()
 }
 
-// flush drains the buffer to the underlying writer.
+// flush drains the buffer to the underlying writer and syncs it to stable
+// storage when the sink is a file, returning the first error seen since the
+// last flush — the drain path's guarantee that buffered verdicts either
+// reached disk or the failure is reported, never silently dropped.
 func (l *verdictLog) flush() error {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.bw.Flush()
+	err := l.bw.Flush()
+	if err == nil {
+		if f, ok := l.sink.(*os.File); ok {
+			err = f.Sync()
+		}
+	}
+	if l.lastErr != nil {
+		err = l.lastErr
+		l.lastErr = nil
+	}
+	return err
+}
+
+// err returns the sticky write error without clearing it, for health
+// reporting between flushes.
+func (l *verdictLog) err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
 }
 
 // count returns the number of records written, for health reporting.
