@@ -4,8 +4,13 @@ GO ?= go
 BENCHTIME ?= 1x
 # BENCH filters which benchmarks run (a go test -bench regexp).
 BENCH ?= .
+# BENCH_HISTORY, when non-empty, makes each bench artifact also append a
+# timestamped JSONL line to this trajectory file (scripts/bench_append.sh
+# sets it), so perf history accumulates instead of being overwritten.
+BENCH_HISTORY ?=
+BENCH_APPEND = $(if $(BENCH_HISTORY),-append $(BENCH_HISTORY),)
 
-.PHONY: ci vet build test race bench smoke-serve smoke-chaos
+.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -47,8 +52,21 @@ smoke-chaos:
 # shed rate, see docs/SERVICE.md) into BENCH_serve.json.
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/telemetry | tee bench.out
-	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json
+	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json $(BENCH_APPEND)
 	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench_hotpath.out
-	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json
+	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json $(BENCH_APPEND)
 	$(GO) test -bench '^BenchmarkServeSaturation$$' -benchtime $(BENCHTIME) -run '^$$' ./internal/serve | tee bench_serve.out
-	$(GO) run ./cmd/benchjson -in bench_serve.out -out BENCH_serve.json
+	$(GO) run ./cmd/benchjson -in bench_serve.out -out BENCH_serve.json $(BENCH_APPEND)
+
+# bench-history is `make bench` plus the timestamped trajectory: every run
+# appends one JSONL line per artifact to BENCH_history.jsonl (see
+# scripts/bench_append.sh).
+bench-history:
+	bash scripts/bench_append.sh
+
+# smoke-shadow runs a miniature continual-learning loop end to end under the
+# race detector: train a seed model, serve it, shadow-retrain and promote
+# through the non-regression gate, and assert the supervisor hot-reloads the
+# promoted version (see scripts/shadow_smoke.sh).
+smoke-shadow:
+	bash scripts/shadow_smoke.sh

@@ -17,8 +17,125 @@ import (
 	"path/filepath"
 	"strings"
 
+	"perspectron/internal/encoding"
+	"perspectron/internal/perceptron"
 	"perspectron/internal/telemetry"
 )
+
+// Lineage is a checkpoint's training provenance: which checkpoint it was
+// trained from, how much data it has seen, the serialized optimizer state
+// that lets training resume bit-identically, the training-time feature
+// firing-rate snapshot the shadow trainer measures drift against, and the
+// eval scores the promotion gate stamped when it went live. Together the
+// Parent links form a lineage chain from any promoted model back to its
+// offline-trained ancestor.
+type Lineage struct {
+	// Parent is the full checksum of the checkpoint this one was trained
+	// from; empty for a generation-zero offline fit.
+	Parent string `json:"parent,omitempty"`
+	// Generation counts promotions since the offline fit (parent chain
+	// length).
+	Generation int `json:"generation"`
+	// TrainedSamples is the cumulative number of training samples this
+	// model's weights have seen across all generations.
+	TrainedSamples int `json:"trained_samples"`
+	// Trainer is the serialized optimizer state (shuffle journal, epoch
+	// and update counts) continual training resumes from.
+	Trainer *perceptron.TrainerState `json:"trainer,omitempty"`
+	// FeatureMeans is the per-selected-feature firing rate over the packed
+	// training rows — the distribution snapshot drift is measured against.
+	FeatureMeans []float64 `json:"feature_means,omitempty"`
+	// Eval holds the golden-corpus scores the promotion gate measured for
+	// this checkpoint when it was promoted (absent until then).
+	Eval *EvalScores `json:"eval,omitempty"`
+	// PromotedAt is the RFC 3339 promotion timestamp, absent until the
+	// gate promotes the checkpoint.
+	PromotedAt string `json:"promoted_at,omitempty"`
+}
+
+// Clone returns a deep copy so a stamped checkpoint cannot alias a live
+// trainer's journal or a shared eval result.
+func (l *Lineage) Clone() *Lineage {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	if l.Trainer != nil {
+		st := l.Trainer.Clone()
+		out.Trainer = &st
+	}
+	out.FeatureMeans = append([]float64(nil), l.FeatureMeans...)
+	if l.Eval != nil {
+		ev := *l.Eval
+		out.Eval = &ev
+	}
+	return &out
+}
+
+// EvalScores is the tier-1 metric vector the promotion gate compares —
+// classification quality on the held-out golden corpus at the detector's own
+// threshold, plus threshold-free AUC.
+type EvalScores struct {
+	Samples   int     `json:"samples"`
+	Accuracy  float64 `json:"accuracy"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	FPR       float64 `json:"fpr"`
+	F1        float64 `json:"f1"`
+	AUC       float64 `json:"auc"`
+}
+
+// evalEpsilon absorbs float formatting round-trips when comparing metric
+// vectors: a candidate scoring within it of the baseline counts as equal, so
+// "no worse" promotes retrained-but-equivalent weights.
+const evalEpsilon = 1e-12
+
+// RegressionsAgainst lists the metrics on which e is strictly worse than
+// base: lower Accuracy/Precision/Recall/AUC or higher FPR, beyond epsilon.
+// An empty result means e is no worse than base on every gated metric. F1 is
+// derived from Precision/Recall and intentionally not gated separately.
+func (e EvalScores) RegressionsAgainst(base EvalScores) []string {
+	var regs []string
+	higher := []struct {
+		name      string
+		got, want float64
+	}{
+		{"accuracy", e.Accuracy, base.Accuracy},
+		{"precision", e.Precision, base.Precision},
+		{"recall", e.Recall, base.Recall},
+		{"auc", e.AUC, base.AUC},
+	}
+	for _, m := range higher {
+		if m.got < m.want-evalEpsilon {
+			regs = append(regs, fmt.Sprintf("%s %.6f < %.6f", m.name, m.got, m.want))
+		}
+	}
+	if e.FPR > base.FPR+evalEpsilon {
+		regs = append(regs, fmt.Sprintf("fpr %.6f > %.6f", e.FPR, base.FPR))
+	}
+	return regs
+}
+
+// firingRates returns the per-feature firing rate (fraction of rows with the
+// bit set) over packed 0/1 rows — the training-distribution snapshot stored
+// in a checkpoint's lineage.
+func firingRates(X []encoding.BitVec, features int) []float64 {
+	rates := make([]float64, features)
+	if len(X) == 0 {
+		return rates
+	}
+	for _, row := range X {
+		for j := 0; j < features; j++ {
+			if row.Get(j) {
+				rates[j]++
+			}
+		}
+	}
+	for j := range rates {
+		rates[j] /= float64(len(X))
+	}
+	return rates
+}
 
 // checksumPrefix tags the checksum scheme, leaving room to evolve it.
 const checksumPrefix = "sha256:"

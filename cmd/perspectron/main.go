@@ -41,12 +41,14 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"perspectron"
 	"perspectron/internal/corpus"
 	"perspectron/internal/serve"
+	"perspectron/internal/shadow"
 	"perspectron/internal/telemetry/telemetrycli"
 )
 
@@ -67,6 +69,8 @@ func main() {
 		cmdInfo(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "shadow":
+		cmdShadow(os.Args[2:])
 	case "list":
 		cmdList()
 	default:
@@ -75,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|serve|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|serve|shadow|list} [flags]")
 	os.Exit(2)
 }
 
@@ -438,6 +442,12 @@ func cmdServe(args []string) {
 	stuck0 := fs.Float64("stuck0", 0, "fraction of counters stuck at zero")
 	stuckMax := fs.Float64("stuckmax", 0, "fraction of counters stuck at saturation")
 	faultSeed := fs.Int64("faultseed", 1, "fault-schedule seed")
+	shadowOn := fs.Bool("shadow", false, "run the continual-learning shadow trainer in-process (retrain + gated promotion against -in)")
+	shadowSpec := fs.String("shadow-workloads", "all", "shadow trainer's fresh-corpus source: all|attacks|benign or names")
+	shadowInterval := fs.Duration("shadow-interval", 30*time.Second, "cadence of shadow-training rounds")
+	shadowBudget := fs.Int("shadow-budget", 0, "incremental epochs per shadow round (0 = 50)")
+	shadowInsts := fs.Uint64("shadow-insts", 120_000, "committed instructions per shadow fresh-corpus run")
+	driftThr := fs.Float64("drift-threshold", 0.25, "smoothed drift level that raises the /healthz drift alarm")
 	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
 
@@ -500,7 +510,49 @@ func cmdServe(args []string) {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	// In-process shadow trainer: retrains -in incrementally in the
+	// background and promotes through the gate; the supervisor's watcher
+	// hot-reloads whatever gets promoted, and its health surface reflects
+	// the trainer's drift EWMA.
+	var shadowWg sync.WaitGroup
+	if *shadowOn {
+		shadowWorkloads, err := resolveWorkloads(*shadowSpec, *channel)
+		if err != nil {
+			fatal(err)
+		}
+		sopts := perspectron.DefaultOptions()
+		sopts.MaxInsts = *shadowInsts
+		sopts.Runs = 1
+		sopts.Seed = *seed
+		scfg := shadow.Config{
+			DetectorPath:   *in,
+			Workloads:      shadowWorkloads,
+			Opts:           sopts,
+			Budget:         *shadowBudget,
+			Interval:       *shadowInterval,
+			DriftThreshold: *driftThr,
+		}
+		if *verdicts != "" && *verdicts != "-" {
+			scfg.VerdictLog = *verdicts
+		}
+		trainer, err := shadow.New(scfg)
+		if err != nil {
+			fatal(err)
+		}
+		sup.SetDriftProbe(trainer.Drift)
+		shadowWg.Add(1)
+		go func() {
+			defer shadowWg.Done()
+			trainer.Run(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "serve: shadow trainer every %s (budget %d epochs/round)\n",
+			*shadowInterval, *shadowBudget)
+	}
+
 	err = sup.Run(ctx)
+	cancel() // release the shadow trainer when workers finish first
+	shadowWg.Wait()
 	switch {
 	case err == nil:
 		fmt.Fprintln(os.Stderr, "serve: all workers completed")
@@ -509,6 +561,88 @@ func cmdServe(args []string) {
 	default:
 		fatal(err)
 	}
+}
+
+// cmdShadow runs the continual-learning loop standalone: tail a serving
+// verdict log (optional), retrain the live checkpoint incrementally on
+// fresh corpus rounds, and promote candidates through the non-regression
+// gate. A `perspectron serve` watching the same checkpoint hot-reloads
+// every promotion.
+func cmdShadow(args []string) {
+	fs := flag.NewFlagSet("shadow", flag.ExitOnError)
+	in := fs.String("in", "detector.json", "live detector checkpoint to retrain and promote")
+	verdicts := fs.String("verdicts", "", "serving verdict log (JSONL file) to tail; empty disables")
+	spec := fs.String("workloads", "all", "fresh-corpus source: all|attacks|benign or comma-separated names")
+	channel := fs.String("channel", "fr", "disclosure channel for attack workloads")
+	interval := fs.Duration("interval", 30*time.Second, "round cadence")
+	budget := fs.Int("budget", 0, "incremental epochs per round (0 = 50)")
+	rounds := fs.Int("rounds", 0, "run N rounds then exit (0 = run until signalled)")
+	insts := fs.Uint64("insts", 120_000, "committed instructions per fresh-corpus run")
+	runs := fs.Int("runs", 1, "runs per workload per round")
+	seed := fs.Int64("seed", 1, "base seed, varied per round")
+	driftThr := fs.Float64("drift-threshold", 0.25, "smoothed drift level that raises the alarm")
+	cacheDir := fs.String("cachedir", "", "on-disk corpus cache directory")
+	tel := telemetrycli.Register(fs)
+	fs.Parse(args)
+
+	workloads, err := resolveWorkloads(*spec, *channel)
+	if err != nil {
+		fatal(err)
+	}
+	if *cacheDir != "" {
+		if err := perspectron.SetCacheDir(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+	opts := perspectron.DefaultOptions()
+	opts.MaxInsts = *insts
+	opts.Runs = *runs
+	opts.Seed = *seed
+	trainer, err := shadow.New(shadow.Config{
+		DetectorPath:   *in,
+		VerdictLog:     *verdicts,
+		Workloads:      workloads,
+		Opts:           opts,
+		Budget:         *budget,
+		Interval:       *interval,
+		DriftThreshold: *driftThr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	tel.Extra = trainer.Handlers()
+	stop, err := tel.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *rounds > 0 {
+		for i := 0; i < *rounds && ctx.Err() == nil; i++ {
+			r, err := trainer.RunOnce(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			status := "rejected"
+			if r.Promotion != nil && r.Promotion.Promoted {
+				status = "promoted " + r.Promotion.CandidateVersion
+			}
+			fmt.Fprintf(os.Stderr,
+				"shadow: round %d: %d fresh samples, %d epochs, drift %.4f (ewma %.4f), %s (%s)\n",
+				r.Round, r.FreshSamples, r.Epochs, r.Drift, r.SmoothedDrift, status, r.Promotion.Reason)
+		}
+		h := trainer.Health()
+		fmt.Fprintf(os.Stderr, "shadow: %d rounds, %d promoted, %d rejected, drift %.4f\n",
+			h.Rounds, h.Promotions, h.Rejections, h.Drift)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "shadow: training every %s against %s\n", *interval, *in)
+	if err := trainer.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "shadow: stopped on signal")
 }
 
 func cmdList() {

@@ -1,0 +1,113 @@
+package perspectron
+
+import (
+	"bytes"
+	"testing"
+)
+
+// incrementWorkloads is a small two-class fresh corpus for increment rounds.
+func incrementWorkloads() []Workload {
+	w := append([]Workload{}, BenignWorkloads()[:2]...)
+	return append(w, AttackByName("spectreV1", "fr"), AttackByName("meltdown", "fr"))
+}
+
+func incrementOpts(seed int64) Options {
+	opts := DefaultOptions()
+	opts.MaxInsts = 60_000
+	opts.Runs = 1
+	opts.Seed = seed
+	return opts
+}
+
+func TestTrainIncrementLineage(t *testing.T) {
+	det := sharedDetector(t)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil { // stamp det.Checksum
+		t.Fatal(err)
+	}
+	weightsBefore := append([]float64(nil), det.Weights...)
+
+	child, stats, err := det.TrainIncrement(incrementWorkloads(), incrementOpts(777), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Samples == 0 {
+		t.Fatalf("no fresh samples trained")
+	}
+	if stats.Epochs < 1 || stats.Epochs > 5 {
+		t.Fatalf("epochs = %d, want 1..5", stats.Epochs)
+	}
+	if len(stats.FiringRates) != det.NumFeatures() {
+		t.Fatalf("firing rates cover %d of %d features", len(stats.FiringRates), det.NumFeatures())
+	}
+	if stats.Drift < 0 || stats.Drift > 1 {
+		t.Fatalf("drift = %v, want [0,1]", stats.Drift)
+	}
+	if child.Lineage == nil {
+		t.Fatalf("child has no lineage")
+	}
+	if child.Lineage.Parent != det.Checksum {
+		t.Fatalf("child parent = %q, want %q", child.Lineage.Parent, det.Checksum)
+	}
+	if child.Lineage.Generation != 1 {
+		t.Fatalf("child generation = %d, want 1", child.Lineage.Generation)
+	}
+	wantSamples := det.Lineage.TrainedSamples + stats.Samples
+	if child.Lineage.TrainedSamples != wantSamples {
+		t.Fatalf("trained samples = %d, want %d", child.Lineage.TrainedSamples, wantSamples)
+	}
+	if child.Lineage.Trainer == nil || child.Lineage.Trainer.Epochs != det.Lineage.Trainer.Epochs+stats.Epochs {
+		t.Fatalf("trainer state not advanced: %+v", child.Lineage.Trainer)
+	}
+	if child.Interval != det.Interval || child.Threshold != det.Threshold {
+		t.Fatalf("increment changed deployment configuration")
+	}
+
+	// The parent must be untouched, and the child must round-trip as a valid
+	// checkpoint.
+	for i, w := range det.Weights {
+		if w != weightsBefore[i] {
+			t.Fatalf("TrainIncrement mutated the parent's weights")
+		}
+	}
+	var cbuf bytes.Buffer
+	if err := child.Save(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&cbuf); err != nil {
+		t.Fatalf("child checkpoint does not round-trip: %v", err)
+	}
+}
+
+// TestTrainIncrementDeterministic pins the resume contract at the detector
+// level: two increments from the same parent over the same fresh corpus and
+// seed must produce bit-identical children.
+func TestTrainIncrementDeterministic(t *testing.T) {
+	det := sharedDetector(t)
+	a, _, err := det.TrainIncrement(incrementWorkloads(), incrementOpts(778), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := det.TrainIncrement(incrementWorkloads(), incrementOpts(778), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bias != b.Bias {
+		t.Fatalf("bias diverged: %v vs %v", a.Bias, b.Bias)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("W[%d] diverged: %v vs %v", i, a.Weights[i], b.Weights[i])
+		}
+	}
+}
+
+func TestTrainIncrementErrors(t *testing.T) {
+	det := sharedDetector(t)
+	if _, _, err := det.TrainIncrement(nil, DefaultOptions(), 5); err == nil {
+		t.Fatalf("empty workload list accepted")
+	}
+	if _, _, err := det.TrainIncrement(BenignWorkloads()[:2], incrementOpts(779), 5); err == nil {
+		t.Fatalf("single-class fresh corpus accepted")
+	}
+}

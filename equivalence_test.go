@@ -201,4 +201,33 @@ func TestEncoderEquivalence(t *testing.T) {
 			t.Fatalf("packed training W[%d] = %v, dense %v", j, packed.W[j], dense.W[j])
 		}
 	}
+
+	// Incremental training replayed from a zero state must be bit-identical
+	// to the one-shot batch fit on the same corpus: the 60-epoch budget is
+	// spent in 20-epoch legs, each resuming from the serialized optimizer
+	// state the previous leg returned — the continual-learning contract the
+	// checkpoint lineage (Lineage.Trainer) depends on.
+	rowsP := trace.ProjectPacked(Xp, idx)
+	inc := perceptron.New(len(idx), pcfg)
+	var st perceptron.TrainerState
+	legs := 0
+	for st.Epochs < 60 && !st.Converged {
+		var err error
+		st, err = inc.FitIncrementalPacked(st, rowsP, yp, 20)
+		if err != nil {
+			t.Fatalf("incremental leg %d: %v", legs, err)
+		}
+		legs++
+	}
+	if legs == 0 || legs > 3 {
+		t.Fatalf("incremental fit took %d legs, want 1..3", legs)
+	}
+	if inc.Bias != packed.Bias {
+		t.Fatalf("incremental bias %v != batch %v", inc.Bias, packed.Bias)
+	}
+	for j := range inc.W {
+		if inc.W[j] != packed.W[j] {
+			t.Fatalf("incremental W[%d] = %v, batch %v", j, inc.W[j], packed.W[j])
+		}
+	}
 }

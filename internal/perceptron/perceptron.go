@@ -8,10 +8,8 @@ package perceptron
 import (
 	"math"
 	"math/bits"
-	"math/rand"
 
 	"perspectron/internal/encoding"
-	"perspectron/internal/telemetry"
 )
 
 // Config holds training hyperparameters.
@@ -68,18 +66,11 @@ func (p *Perceptron) Name() string { return "PerSpectron" }
 // Fit trains with the perceptron learning rule on inputs X (0/1 features)
 // and targets y (±1), shuffling each epoch. When telemetry is enabled, Fit
 // records per-epoch error rates, total epochs/updates, the epoch count at
-// convergence and the quantized weight-saturation count.
+// convergence and the quantized weight-saturation count. It is exactly a
+// fresh Trainer run to the config's epoch budget — the incremental path in
+// trainer.go replays the identical epoch loop one step at a time.
 func (p *Perceptron) Fit(X [][]float64, y []float64) {
-	p.fit(len(X), y,
-		func(i int) (raw, norm float64) { return p.rawNorm(X[i]) },
-		func(i int, step float64) {
-			for j, v := range X[i] {
-				if v != 0 {
-					p.W[j] += step * v
-				}
-			}
-			p.Bias += step
-		})
+	NewTrainer(p).Fit(X, y, 0)
 }
 
 // FitPacked is Fit over bit-packed rows: the dot product, margin check and
@@ -88,83 +79,7 @@ func (p *Perceptron) Fit(X [][]float64, y []float64) {
 // bit-identical weights to Fit — set bits are visited in the same ascending
 // order, and w·1 is exactly w — which TestFitPackedBitIdentical pins.
 func (p *Perceptron) FitPacked(X []encoding.BitVec, y []float64) {
-	p.fit(len(X), y,
-		func(i int) (raw, norm float64) { return p.rawNormPacked(X[i]) },
-		func(i int, step float64) {
-			for w, word := range X[i] {
-				for word != 0 {
-					p.W[w<<6+bits.TrailingZeros64(word)] += step
-					word &= word - 1
-				}
-			}
-			p.Bias += step
-		})
-}
-
-// fit is the shared training driver: rawNorm returns sample i's raw output
-// and active-weight magnitude in one pass, update applies the learning step
-// to sample i's active features. Keeping the epoch/shuffle/telemetry logic
-// in one place guarantees the dense and packed paths replay the identical
-// sample order and update sequence.
-func (p *Perceptron) fit(n int, y []float64,
-	rawNorm func(i int) (raw, norm float64), update func(i int, step float64)) {
-	reg := telemetry.Get()
-	epochCtr := reg.Counter("perspectron_train_epochs_total")
-	updateCtr := reg.Counter("perspectron_train_updates_total")
-	var errHist *telemetry.Histogram
-	if reg != nil {
-		errHist = reg.Histogram("perspectron_train_epoch_error", telemetry.RatioBuckets)
-	}
-
-	r := rand.New(rand.NewSource(p.cfg.Seed))
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	epochs := p.cfg.Epochs
-	if epochs <= 0 {
-		epochs = 1000
-	}
-	used := 0
-	for e := 0; e < epochs; e++ {
-		used = e + 1
-		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		errs, updates := 0, 0
-		for _, i := range idx {
-			out, norm := rawNorm(i)
-			pred := 1.0
-			if out < 0 {
-				pred = -1
-			}
-			wrong := pred != y[i]
-			if wrong {
-				errs++
-			}
-			// Update on error, and also on low-margin correct
-			// predictions (threshold training). The margin check
-			// normalizes the raw output already in hand instead of
-			// recomputing the full dot product through Score.
-			if wrong || (p.cfg.Margin > 0 && y[i]*clampScore(out, norm) < p.cfg.Margin) {
-				updates++
-				update(i, 2*p.cfg.LearningRate*y[i])
-			}
-		}
-		epochCtr.Inc()
-		updateCtr.Add(uint64(updates))
-		if errHist != nil && n > 0 {
-			errHist.Observe(float64(errs) / float64(n))
-		}
-		if updates == 0 {
-			break // every sample beyond margin: converged
-		}
-		if p.cfg.Margin == 0 && float64(errs)/float64(n) < p.cfg.TargetError {
-			break
-		}
-	}
-	if reg != nil {
-		reg.Gauge("perspectron_train_epochs_converged").Set(float64(used))
-		reg.Gauge("perspectron_train_saturated_weights").Set(float64(p.SaturatedWeights()))
-	}
+	NewTrainer(p).FitPacked(X, y, 0)
 }
 
 // clampScore normalizes a raw output by the active-weight magnitude into

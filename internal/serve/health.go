@@ -41,26 +41,51 @@ type Health struct {
 	// shard down or load-degraded), "degraded" (any worker or shard on a
 	// lower rung, an open breaker, a down shard, a rolled-back reload, or a
 	// failing verdict log), or "draining" (shutdown in progress).
-	Status            string         `json:"status"`
-	Ready             bool           `json:"ready"`
-	DetectorVersion   string         `json:"detector_version"`
-	ClassifierVersion string         `json:"classifier_version"`
-	Reloads           int            `json:"reloads"`
-	Rollbacks         int            `json:"rollbacks"`
-	ReloadError       string         `json:"reload_error,omitempty"`
-	LastReloadAt      string         `json:"last_reload_at,omitempty"`
-	Verdicts          int            `json:"verdicts"`
-	LogError          string         `json:"log_error,omitempty"`
-	Workers           []WorkerHealth `json:"workers"`
-	Shards            []ShardHealth  `json:"shards"`
+	Status            string `json:"status"`
+	Ready             bool   `json:"ready"`
+	DetectorVersion   string `json:"detector_version"`
+	ClassifierVersion string `json:"classifier_version"`
+	Reloads           int    `json:"reloads"`
+	Rollbacks         int    `json:"rollbacks"`
+	ReloadError       string `json:"reload_error,omitempty"`
+	LastReloadAt      string `json:"last_reload_at,omitempty"`
+	Verdicts          int    `json:"verdicts"`
+	// VerdictVersion is the detector version stamped into the most recent
+	// verdict record — normally DetectorVersion, trailing it briefly around
+	// a hot-reload.
+	VerdictVersion string `json:"verdict_version,omitempty"`
+	LogError       string `json:"log_error,omitempty"`
+	// ShadowDrift is the shadow trainer's smoothed feature-distribution
+	// drift (present only when a shadow loop is attached); DriftAlarm marks
+	// it past the configured threshold and degrades the service status.
+	ShadowDrift float64        `json:"shadow_drift,omitempty"`
+	DriftAlarm  bool           `json:"drift_alarm,omitempty"`
+	Workers     []WorkerHealth `json:"workers"`
+	Shards      []ShardHealth  `json:"shards"`
+}
+
+// DriftProbe reports a shadow trainer's current smoothed drift and whether
+// it is past the alarm threshold — the hook an in-process shadow loop
+// registers so /healthz and /readyz reflect training-distribution drift.
+type DriftProbe func() (drift float64, alarm bool)
+
+// SetDriftProbe attaches (or, with nil, detaches) a drift probe. Safe to
+// call concurrently with Health.
+func (s *Supervisor) SetDriftProbe(p DriftProbe) {
+	if p == nil {
+		s.driftProbe.Store(nil)
+		return
+	}
+	s.driftProbe.Store(&p)
 }
 
 // Health snapshots the supervisor for the health endpoints (and tests).
 func (s *Supervisor) Health() Health {
 	h := Health{
-		Status:   "ok",
-		Ready:    s.ready.Load(),
-		Verdicts: s.log.count(),
+		Status:         "ok",
+		Ready:          s.ready.Load(),
+		Verdicts:       s.log.count(),
+		VerdictVersion: s.log.version(),
 	}
 	h.DetectorVersion, h.ClassifierVersion = s.models.Load().Versions()
 	if s.watch != nil {
@@ -73,7 +98,10 @@ func (s *Supervisor) Health() Health {
 	if err := s.log.err(); err != nil {
 		h.LogError = err.Error()
 	}
-	degraded := h.ReloadError != "" || h.LogError != ""
+	if p := s.driftProbe.Load(); p != nil {
+		h.ShadowDrift, h.DriftAlarm = (*p)()
+	}
+	degraded := h.ReloadError != "" || h.LogError != "" || h.DriftAlarm
 	topMode := "detector"
 	if s.models.Load().Cls != nil {
 		topMode = "classifier"

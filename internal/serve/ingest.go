@@ -194,11 +194,13 @@ func (s *Supervisor) shardHealthy(i int) bool { return !s.shards[i].down.Load() 
 func (s *Supervisor) logShed(sh *shard, it *ingestItem) {
 	it.w.sheds.Add(1)
 	telemetry.Get().Counter(telemetry.Name("perspectron_serve_shed_total", "worker", it.w.name)).Inc()
+	det, _ := s.models.Load().Versions()
 	rec := VerdictRecord{
 		Worker:  it.w.name,
 		Episode: it.episode,
 		Sample:  it.sample.Sample,
 		Mode:    "shed",
+		Version: det,
 		Shed:    true,
 		Shard:   sh.id,
 	}
@@ -309,10 +311,13 @@ func (c *scorerCache) get(mdl *Models) (*perspectron.RawScorer, error) {
 // "error") so the verdict accounting stays exact.
 func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, loadMode perspectron.ServeMode) (ok bool) {
 	ok = true
+	mdl := s.models.Load() // pinned: the verdict is attributed to this version
+	detVer, _ := mdl.Versions()
 	rec := VerdictRecord{
 		Worker:  it.w.name,
 		Episode: it.episode,
 		Sample:  it.sample.Sample,
+		Version: detVer,
 		Shard:   sh.id,
 	}
 	defer func() {
@@ -335,7 +340,7 @@ func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, lo
 	if hook := s.scoreHook; hook != nil {
 		hook(it)
 	}
-	scorer, err := cache.get(s.models.Load())
+	scorer, err := cache.get(mdl)
 	if err != nil {
 		panic(err) // surfaces as an error verdict + breaker pressure
 	}

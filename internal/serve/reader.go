@@ -1,0 +1,106 @@
+package serve
+
+// Streaming verdict-log reading: the consumer half of the JSONL verdict log.
+// The shadow trainer (internal/shadow) tails the log a live service is still
+// appending to, so the reader must tolerate two things an ad-hoc
+// json.Unmarshal loop does not: a partial last line (the writer's buffered
+// encoder may have flushed half a record) and corrupt lines (a crashed
+// writer, a truncated copy). A VerdictScanner consumes only complete,
+// newline-terminated lines — Consumed never includes a trailing partial
+// line, so resuming from the returned offset re-reads it once completed —
+// and skips undecodable lines loudly (counted, surfaced via Corrupt and
+// telemetry) instead of aborting the tail.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+
+	"perspectron/internal/telemetry"
+)
+
+// VerdictScanner streams VerdictRecords off a JSONL reader with corrupt-line
+// tolerance. Create with NewVerdictScanner; drive with Next.
+type VerdictScanner struct {
+	r        *bufio.Reader
+	consumed int64
+	corrupt  int
+	err      error
+}
+
+// NewVerdictScanner wraps r for streaming verdict decoding.
+func NewVerdictScanner(r io.Reader) *VerdictScanner {
+	return &VerdictScanner{r: bufio.NewReader(r)}
+}
+
+// Next returns the next decodable verdict record, skipping corrupt complete
+// lines. It reports false at EOF, on a trailing partial line (not yet
+// newline-terminated — not consumed, re-readable once the writer finishes
+// it), or on a read error (see Err).
+func (s *VerdictScanner) Next() (VerdictRecord, bool) {
+	for {
+		line, err := s.r.ReadBytes('\n')
+		if err != nil {
+			// A partial line (io.EOF with leftover bytes) is NOT consumed:
+			// the writer is mid-record and a later read from the returned
+			// offset picks it up whole.
+			if err != io.EOF {
+				s.err = err
+			}
+			return VerdictRecord{}, false
+		}
+		s.consumed += int64(len(line))
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec VerdictRecord
+		if jerr := json.Unmarshal(line, &rec); jerr != nil {
+			s.corrupt++
+			telemetry.Get().Counter("perspectron_verdict_corrupt_lines_total").Inc()
+			continue
+		}
+		return rec, true
+	}
+}
+
+// Consumed returns the number of bytes of complete lines read so far — the
+// offset to resume a tail from.
+func (s *VerdictScanner) Consumed() int64 { return s.consumed }
+
+// Corrupt returns the number of undecodable complete lines skipped.
+func (s *VerdictScanner) Corrupt() int { return s.corrupt }
+
+// Err returns the first non-EOF read error.
+func (s *VerdictScanner) Err() error { return s.err }
+
+// ReadVerdictLog reads every complete verdict line of path starting at byte
+// offset, returning the decoded records, the count of corrupt lines skipped,
+// and the offset to resume the next tail from. A missing file is an empty
+// tail, not an error — the service may simply not have written yet.
+func ReadVerdictLog(path string, offset int64) (recs []VerdictRecord, corrupt int, next int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, offset, nil
+		}
+		return nil, 0, offset, err
+	}
+	defer f.Close()
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return nil, 0, offset, err
+		}
+	}
+	sc := NewVerdictScanner(f)
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Corrupt(), offset + sc.Consumed(), sc.Err()
+}

@@ -219,9 +219,10 @@ type Supervisor struct {
 	// finish draining their queues and stop. Created by Run.
 	produceDone chan struct{}
 
-	ready    atomic.Bool
-	draining atomic.Bool
-	running  atomic.Int64 // workers currently live
+	ready      atomic.Bool
+	draining   atomic.Bool
+	running    atomic.Int64 // workers currently live
+	driftProbe atomic.Pointer[DriftProbe]
 
 	// scoreHook (tests only) runs before each sample is scored — the chaos
 	// harness's scorer-panic injection point. onVerdict (tests only)

@@ -240,9 +240,10 @@ func TestVerdictLogJSONL(t *testing.T) {
 	if len(lines) != 2 || l.count() != 2 {
 		t.Fatalf("wrote %d lines, counted %d, want 2/2", len(lines), l.count())
 	}
-	var rec VerdictRecord
-	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
-		t.Fatal(err)
+	sc := NewVerdictScanner(strings.NewReader(buf.String()))
+	rec, ok := sc.Next()
+	if !ok {
+		t.Fatalf("scanner decoded no records (err %v)", sc.Err())
 	}
 	if rec.Mode != "detector" || !rec.Flagged {
 		t.Fatalf("round trip lost fields: %+v", rec)
@@ -284,18 +285,23 @@ func TestServiceScoresAndLogsVerdicts(t *testing.T) {
 	if h.Workers[0].Mode != "classifier" {
 		t.Fatalf("clean run degraded to %s", h.Workers[0].Mode)
 	}
-	flagged := 0
-	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
-		var rec VerdictRecord
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			t.Fatalf("bad verdict line %q: %v", line, err)
+	flagged, total := 0, 0
+	sc := NewVerdictScanner(bytes.NewReader(buf.Bytes()))
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
 		}
+		total++
 		if rec.Flagged {
 			flagged++
 		}
 	}
-	if flagged == 0 {
-		t.Fatalf("spectreV1 produced no flagged verdicts")
+	if sc.Corrupt() != 0 || sc.Err() != nil {
+		t.Fatalf("verdict log unparseable: corrupt=%d err=%v", sc.Corrupt(), sc.Err())
+	}
+	if total == 0 || flagged == 0 {
+		t.Fatalf("spectreV1 produced %d verdicts, %d flagged", total, flagged)
 	}
 }
 

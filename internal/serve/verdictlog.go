@@ -12,10 +12,14 @@ import (
 // (JSON lines): scored, shed by admission control, or failed in the scorer.
 // Every sample admitted to the ingest stage produces exactly one record.
 type VerdictRecord struct {
-	Worker  string  `json:"worker"`
-	Episode int     `json:"episode"`
-	Sample  int     `json:"sample"`
-	Mode    string  `json:"mode"`
+	Worker  string `json:"worker"`
+	Episode int    `json:"episode"`
+	Sample  int    `json:"sample"`
+	Mode    string `json:"mode"`
+	// Version is the content version of the detector checkpoint that was
+	// live when the verdict was produced, so shadow training can attribute
+	// every verdict to the model that made it.
+	Version string  `json:"version,omitempty"`
 	Score   float64 `json:"score"`
 	Class   string  `json:"class,omitempty"`
 	Flagged bool    `json:"flagged"`
@@ -43,7 +47,8 @@ type verdictLog struct {
 	enc     *json.Encoder
 	sink    io.Writer
 	n       int
-	lastErr error // first write/flush error, sticky until reported
+	ver     string // model version of the most recent record
+	lastErr error  // first write/flush error, sticky until reported
 }
 
 func newVerdictLog(w io.Writer) *verdictLog {
@@ -67,6 +72,9 @@ func (l *verdictLog) record(v VerdictRecord) {
 		l.lastErr = err
 	}
 	l.n++
+	if v.Version != "" {
+		l.ver = v.Version
+	}
 	l.mu.Unlock()
 }
 
@@ -112,4 +120,15 @@ func (l *verdictLog) count() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
+}
+
+// version returns the model version stamped into the most recent record, for
+// the verdict row of /healthz.
+func (l *verdictLog) version() string {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ver
 }

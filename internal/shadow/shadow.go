@@ -1,0 +1,406 @@
+// Package shadow is the serving-feedback half of the continual-learning
+// loop: a background trainer that tails the serving runtime's JSONL verdict
+// log (attributing verdicts to the checkpoint version that produced them),
+// collects fresh labelled samples through the corpus store, retrains the
+// live detector incrementally in its frozen feature space, and hands each
+// candidate to the promotion gate (perspectron.PromoteDetector) — so a
+// better-or-equal model atomically replaces the live checkpoint, where the
+// serving supervisor's watcher hot-reloads it, and a regressed one is
+// preserved for inspection instead of going live.
+//
+// Alongside training, the loop measures feature-distribution drift: each
+// round compares the fresh corpus's per-feature firing rates against the
+// lineage's training-time snapshot, smooths the distance with an EWMA, and
+// exposes it as the perspectron_shadow_drift gauge, through its own health
+// surface, and (via serve.DriftProbe) through the serving /healthz and
+// /readyz. Drift past the threshold raises an alarm — the signal that the
+// workload distribution has moved and the current training corpus may no
+// longer cover it. See docs/MLOPS.md.
+package shadow
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"perspectron"
+	"perspectron/internal/serve"
+	"perspectron/internal/telemetry"
+)
+
+// Config configures a shadow Trainer. Zero-valued fields fall back to the
+// defaults noted on each field.
+type Config struct {
+	// DetectorPath is the live detector checkpoint: the model each round
+	// resumes from and the promotion gate's target. Required.
+	DetectorPath string
+	// CandidatePath is where freshly trained candidates are staged before
+	// the gate (default DetectorPath+".candidate").
+	CandidatePath string
+	// VerdictLog is the serving runtime's JSONL verdict log to tail
+	// (optional; empty disables verdict consumption).
+	VerdictLog string
+
+	// Workloads is the fresh-corpus source each round draws from. Required.
+	Workloads []perspectron.Workload
+	// Opts shapes collection; the seed is varied per round so successive
+	// increments train on fresh data.
+	Opts perspectron.Options
+	// Budget is the incremental epoch budget per round (default
+	// perspectron.DefaultIncrementEpochs).
+	Budget int
+
+	// Golden is the held-out gate corpus. When nil, the trainer collects
+	// one on first use from GoldenWorkloads (default: Workloads) with the
+	// opts seed offset by GoldenSeedOffset — a seed the round-varied
+	// training collections never reuse.
+	Golden           *perspectron.GoldenSet
+	GoldenWorkloads  []perspectron.Workload
+	GoldenSeedOffset int64 // default 9973
+
+	// Interval is the cadence of Run's rounds (default 30s).
+	Interval time.Duration
+	// DriftAlpha is the drift EWMA's smoothing factor in (0, 1]; higher
+	// follows the newest round faster (default 0.3).
+	DriftAlpha float64
+	// DriftThreshold is the smoothed-drift level past which the trainer
+	// raises its drift alarm (default 0.25).
+	DriftThreshold float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.CandidatePath == "" {
+		out.CandidatePath = out.DetectorPath + ".candidate"
+	}
+	if out.Budget <= 0 {
+		out.Budget = perspectron.DefaultIncrementEpochs
+	}
+	if len(out.GoldenWorkloads) == 0 {
+		out.GoldenWorkloads = out.Workloads
+	}
+	if out.GoldenSeedOffset == 0 {
+		out.GoldenSeedOffset = 9973
+	}
+	if out.Interval <= 0 {
+		out.Interval = 30 * time.Second
+	}
+	if out.DriftAlpha <= 0 || out.DriftAlpha > 1 {
+		out.DriftAlpha = 0.3
+	}
+	if out.DriftThreshold <= 0 {
+		out.DriftThreshold = 0.25
+	}
+	return out
+}
+
+// Round is one shadow-training round's outcome.
+type Round struct {
+	// Round is the 1-based round number.
+	Round int
+	// VerdictsSeen / CorruptLines account for this round's verdict-log tail.
+	VerdictsSeen int
+	CorruptLines int
+	// FreshSamples / Epochs / Converged describe the incremental fit.
+	FreshSamples int
+	Epochs       int
+	Converged    bool
+	// Drift is the round's raw distribution distance; SmoothedDrift the
+	// EWMA after folding it in.
+	Drift         float64
+	SmoothedDrift float64
+	// Promotion is the gate's decision for this round's candidate.
+	Promotion *perspectron.Promotion
+}
+
+// Trainer runs the shadow loop. Create with New; drive with Run (the loop)
+// or RunOnce (a single deterministic round, the form tests use).
+type Trainer struct {
+	cfg Config
+
+	mu         sync.Mutex
+	golden     *perspectron.GoldenSet
+	offset     int64 // verdict-log tail position
+	rounds     int
+	promotions int
+	rejections int
+	verdicts   int            // verdict records consumed
+	corrupt    int            // corrupt verdict lines skipped
+	byVersion  map[string]int // verdicts attributed per model version
+	drift      float64        // EWMA
+	driftInit  bool
+	lastErr    string
+	lastRound  *Round
+}
+
+// New validates the configuration and returns an idle trainer. The initial
+// detector checkpoint must load — a shadow loop with nothing to resume from
+// is a configuration error, not something to retry quietly.
+func New(cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DetectorPath == "" {
+		return nil, fmt.Errorf("shadow: DetectorPath is required")
+	}
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("shadow: no workloads to train on")
+	}
+	if _, err := perspectron.LoadFile(cfg.DetectorPath); err != nil {
+		return nil, fmt.Errorf("shadow: initial detector checkpoint: %w", err)
+	}
+	return &Trainer{cfg: cfg, golden: cfg.Golden, byVersion: map[string]int{}}, nil
+}
+
+// Drift returns the smoothed drift EWMA and whether it is past the alarm
+// threshold — the serve.DriftProbe shape, for wiring into a supervisor's
+// health surface.
+func (t *Trainer) Drift() (drift float64, alarm bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drift, t.driftInit && t.drift > t.cfg.DriftThreshold
+}
+
+// Run executes rounds every Interval until ctx ends. Round errors are
+// recorded (health surfaces them) and the loop continues — a transient
+// collection failure must not kill the background trainer.
+func (t *Trainer) Run(ctx context.Context) error {
+	tick := time.NewTicker(t.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := t.RunOnce(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "shadow: round failed: %v\n", err)
+			}
+		}
+	}
+}
+
+// RunOnce executes one complete round: tail the verdict log, collect a
+// fresh corpus (round-varied seed), retrain incrementally from the live
+// checkpoint, update the drift EWMA, stage the candidate, and run the
+// promotion gate.
+func (t *Trainer) RunOnce(ctx context.Context) (Round, error) {
+	t.mu.Lock()
+	t.rounds++
+	r := Round{Round: t.rounds}
+	offset := t.offset
+	t.mu.Unlock()
+	reg := telemetry.Get()
+	fail := func(err error) (Round, error) {
+		t.mu.Lock()
+		t.lastErr = err.Error()
+		t.mu.Unlock()
+		reg.Counter(telemetry.Name("perspectron_shadow_rounds_total", "result", "error")).Inc()
+		return r, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	// 1. Tail the verdict log: every complete record is attributed to the
+	// model version that produced it, so operators can see which generation
+	// each verdict came from even across hot-reloads mid-round.
+	if t.cfg.VerdictLog != "" {
+		recs, corrupt, next, err := serve.ReadVerdictLog(t.cfg.VerdictLog, offset)
+		if err != nil {
+			return fail(fmt.Errorf("shadow: tailing verdict log: %w", err))
+		}
+		r.VerdictsSeen, r.CorruptLines = len(recs), corrupt
+		t.mu.Lock()
+		t.offset = next
+		t.verdicts += len(recs)
+		t.corrupt += corrupt
+		for _, rec := range recs {
+			if rec.Version != "" {
+				t.byVersion[rec.Version]++
+			}
+		}
+		t.mu.Unlock()
+	}
+
+	// 2. Resume from the live checkpoint — whatever the gate last promoted,
+	// which may be newer than anything this trainer produced.
+	live, err := perspectron.LoadFile(t.cfg.DetectorPath)
+	if err != nil {
+		return fail(fmt.Errorf("shadow: loading live detector: %w", err))
+	}
+
+	// 3. Golden corpus, collected once and frozen across rounds.
+	golden, err := t.goldenSet()
+	if err != nil {
+		return fail(err)
+	}
+
+	// 4. Fresh corpus + incremental fit. The round-varied seed keeps every
+	// round's samples distinct from each other and from the golden set.
+	opts := t.cfg.Opts
+	opts.Seed = t.cfg.Opts.Seed + int64(r.Round)*7919
+	cand, stats, err := live.TrainIncrement(t.cfg.Workloads, opts, t.cfg.Budget)
+	if err != nil {
+		return fail(fmt.Errorf("shadow: incremental fit: %w", err))
+	}
+	r.FreshSamples, r.Epochs, r.Converged = stats.Samples, stats.Epochs, stats.Converged
+	r.Drift = stats.Drift
+	r.SmoothedDrift = t.observeDrift(stats.Drift)
+
+	// 5. Stage the candidate and run the gate. Promotion atomically renames
+	// over the live path; the serving watcher hot-reloads it on its next
+	// poll. Rejection preserves the candidate beside the live file.
+	if err := cand.SaveFile(t.cfg.CandidatePath); err != nil {
+		return fail(fmt.Errorf("shadow: staging candidate: %w", err))
+	}
+	promo, err := perspectron.PromoteDetector(t.cfg.CandidatePath, t.cfg.DetectorPath, golden)
+	if err != nil {
+		return fail(fmt.Errorf("shadow: promotion gate: %w", err))
+	}
+	r.Promotion = promo
+
+	t.mu.Lock()
+	t.lastErr = ""
+	if promo.Promoted {
+		t.promotions++
+	} else {
+		t.rejections++
+	}
+	rc := r
+	t.lastRound = &rc
+	t.mu.Unlock()
+	result := "rejected"
+	if promo.Promoted {
+		result = "promoted"
+	}
+	reg.Counter(telemetry.Name("perspectron_shadow_rounds_total", "result", result)).Inc()
+	if reg != nil {
+		reg.Event("shadow.round", map[string]any{
+			"round":     r.Round,
+			"samples":   r.FreshSamples,
+			"drift":     r.Drift,
+			"smoothed":  r.SmoothedDrift,
+			"promoted":  promo.Promoted,
+			"candidate": promo.CandidateVersion,
+			"reason":    promo.Reason,
+		})
+	}
+	return r, nil
+}
+
+// goldenSet returns the frozen gate corpus, collecting it on first use.
+func (t *Trainer) goldenSet() (*perspectron.GoldenSet, error) {
+	t.mu.Lock()
+	g := t.golden
+	t.mu.Unlock()
+	if g != nil {
+		return g, nil
+	}
+	opts := t.cfg.Opts
+	opts.Seed += t.cfg.GoldenSeedOffset
+	g, err := perspectron.CollectGolden(t.cfg.GoldenWorkloads, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shadow: collecting golden corpus: %w", err)
+	}
+	t.mu.Lock()
+	t.golden = g
+	t.mu.Unlock()
+	return g, nil
+}
+
+// observeDrift folds one round's raw drift into the EWMA, publishes the
+// gauge, and returns the smoothed value.
+func (t *Trainer) observeDrift(raw float64) float64 {
+	t.mu.Lock()
+	if !t.driftInit {
+		t.drift, t.driftInit = raw, true
+	} else {
+		t.drift = t.cfg.DriftAlpha*raw + (1-t.cfg.DriftAlpha)*t.drift
+	}
+	smoothed := t.drift
+	alarm := smoothed > t.cfg.DriftThreshold
+	t.mu.Unlock()
+	if reg := telemetry.Get(); reg != nil {
+		reg.Gauge("perspectron_shadow_drift").Set(smoothed)
+		if alarm {
+			reg.Counter("perspectron_shadow_drift_alarms_total").Inc()
+		}
+	}
+	return smoothed
+}
+
+// Health is the shadow loop's own health snapshot (the standalone
+// `perspectron shadow` serves it; in-process shadow surfaces drift through
+// the supervisor's /healthz instead).
+type Health struct {
+	// Status is "ok", or "degraded" when the drift alarm is up or the last
+	// round failed.
+	Status     string `json:"status"`
+	Rounds     int    `json:"rounds"`
+	Promotions int    `json:"promotions"`
+	Rejections int    `json:"rejections"`
+	// Verdicts / CorruptLines account for the verdict-log tail so far;
+	// VerdictsByVersion attributes them to the model versions that produced
+	// them.
+	Verdicts          int            `json:"verdicts"`
+	CorruptLines      int            `json:"corrupt_lines,omitempty"`
+	VerdictsByVersion map[string]int `json:"verdicts_by_version,omitempty"`
+	Drift             float64        `json:"drift"`
+	DriftAlarm        bool           `json:"drift_alarm"`
+	LastError         string         `json:"last_error,omitempty"`
+	// LastPromotion summarizes the most recent gate decision.
+	LastPromotion *perspectron.Promotion `json:"last_promotion,omitempty"`
+}
+
+// Health snapshots the trainer.
+func (t *Trainer) Health() Health {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := Health{
+		Status:       "ok",
+		Rounds:       t.rounds,
+		Promotions:   t.promotions,
+		Rejections:   t.rejections,
+		Verdicts:     t.verdicts,
+		CorruptLines: t.corrupt,
+		Drift:        t.drift,
+		DriftAlarm:   t.driftInit && t.drift > t.cfg.DriftThreshold,
+		LastError:    t.lastErr,
+	}
+	if len(t.byVersion) > 0 {
+		h.VerdictsByVersion = make(map[string]int, len(t.byVersion))
+		for k, v := range t.byVersion {
+			h.VerdictsByVersion[k] = v
+		}
+	}
+	if t.lastRound != nil {
+		h.LastPromotion = t.lastRound.Promotion
+	}
+	if h.DriftAlarm || h.LastError != "" {
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Handlers returns the standalone health routes, shaped for
+// telemetry.ServeWith's Extra map like the supervisor's.
+func (t *Trainer) Handlers() map[string]http.Handler {
+	healthz := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Health())
+	})
+	readyz := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := t.Health()
+		w.WriteHeader(http.StatusOK)
+		if h.Status == "degraded" {
+			w.Write([]byte("degraded\n"))
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	return map[string]http.Handler{"/healthz": healthz, "/readyz": readyz}
+}

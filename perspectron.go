@@ -162,6 +162,13 @@ type Detector struct {
 	GlobalMax    []float64   `json:"global_max"`
 	PointMax     [][]float64 `json:"point_max"` // [point][selected feature]
 
+	// Lineage is the checkpoint's training provenance — parent checksum,
+	// cumulative sample count, serialized optimizer state, the training-time
+	// feature-distribution snapshot and the promotion gate's eval scores
+	// (see checkpoint.go). Absent on legacy checkpoints; continual training
+	// starts a fresh lineage for them.
+	Lineage *Lineage `json:"lineage,omitempty"`
+
 	indices []int // resolved counter indices on the current machine
 }
 
@@ -212,14 +219,19 @@ func Train(workloads []Workload, opts Options) (*Detector, error) {
 
 	// Train through the bit-packed kernel: the packed fit walks only the set
 	// bits of each k-sparse row, and its weights are bit-identical to the
-	// dense float path (see internal/perceptron packed tests).
+	// dense float path (see internal/perceptron packed tests). Driving the
+	// epoch loop through a Trainer (rather than batch FitPacked) yields the
+	// same weights and leaves behind the serialized optimizer state the
+	// continual-learning pipeline resumes from.
 	Xb, yb := enc.PackedBinaryMatrix(ds)
 	Xp := trace.ProjectPacked(Xb, sel.Indices)
 	pcfg := perceptron.DefaultConfig()
 	pcfg.Threshold = opts.Threshold
 	pcfg.Seed = opts.Seed
 	perc := perceptron.New(len(sel.Indices), pcfg)
-	perc.FitPacked(Xp, yb)
+	tr := perceptron.NewTrainer(perc)
+	tr.FitPacked(Xp, yb, 0)
+	st := tr.State()
 
 	d := &Detector{
 		FeatureNames: make([]string, len(sel.Indices)),
@@ -228,7 +240,12 @@ func Train(workloads []Workload, opts Options) (*Detector, error) {
 		Threshold:    opts.Threshold,
 		Interval:     opts.Interval,
 		GlobalMax:    make([]float64, len(sel.Indices)),
-		indices:      sel.Indices,
+		Lineage: &Lineage{
+			TrainedSamples: len(Xp),
+			Trainer:        &st,
+			FeatureMeans:   firingRates(Xp, len(sel.Indices)),
+		},
+		indices: sel.Indices,
 	}
 	for i, j := range sel.Indices {
 		d.FeatureNames[i] = ds.FeatureNames[j]

@@ -1,0 +1,326 @@
+package perspectron
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedGolden collects a small held-out golden corpus once for all promotion
+// tests (a different seed than trainSmall's, per the CollectGolden contract).
+var cachedGolden *GoldenSet
+
+func sharedGolden(t *testing.T) *GoldenSet {
+	t.Helper()
+	if cachedGolden == nil {
+		opts := DefaultOptions()
+		opts.MaxInsts = 60_000
+		opts.Runs = 1
+		opts.Seed = 4242
+		workloads := append([]Workload{}, BenignWorkloads()[:2]...)
+		workloads = append(workloads, AttackByName("spectreV1", "fr"), AttackByName("flush+reload", ""))
+		g, err := CollectGolden(workloads, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedGolden = g
+	}
+	return cachedGolden
+}
+
+// cloneDetector deep-copies the mutable parts a test perturbs.
+func cloneDetector(d *Detector) *Detector {
+	c := *d
+	c.Weights = append([]float64(nil), d.Weights...)
+	c.Lineage = d.Lineage.Clone()
+	c.Checksum = ""
+	return &c
+}
+
+func saveDetector(t *testing.T, d *Detector, path string) {
+	t.Helper()
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRegressionsAgainst(t *testing.T) {
+	base := EvalScores{Accuracy: 0.9, Precision: 0.8, Recall: 0.7, FPR: 0.1, F1: 0.75, AUC: 0.95}
+
+	if regs := base.RegressionsAgainst(base); len(regs) != 0 {
+		t.Fatalf("identical scores flagged: %v", regs)
+	}
+
+	// Regressing on exactly one metric must list exactly that metric.
+	oneWorse := base
+	oneWorse.Recall = 0.65
+	regs := oneWorse.RegressionsAgainst(base)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "recall") {
+		t.Fatalf("single recall regression reported as %v", regs)
+	}
+
+	// FPR is gated in the other direction: higher is a regression.
+	fprWorse := base
+	fprWorse.FPR = 0.2
+	regs = fprWorse.RegressionsAgainst(base)
+	if len(regs) != 1 || !strings.HasPrefix(regs[0], "fpr") {
+		t.Fatalf("fpr regression reported as %v", regs)
+	}
+
+	// Improvements and epsilon-sized wobble are not regressions.
+	better := base
+	better.Accuracy, better.FPR = 0.95, 0.05
+	if regs := better.RegressionsAgainst(base); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	wobble := base
+	wobble.Accuracy -= evalEpsilon / 2
+	if regs := wobble.RegressionsAgainst(base); len(regs) != 0 {
+		t.Fatalf("sub-epsilon wobble flagged: %v", regs)
+	}
+
+	// F1 is derived and deliberately ungated.
+	f1Worse := base
+	f1Worse.F1 = 0.1
+	if regs := f1Worse.RegressionsAgainst(base); len(regs) != 0 {
+		t.Fatalf("ungated F1 flagged: %v", regs)
+	}
+}
+
+func TestEvaluateGolden(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	s := det.EvaluateGolden(g)
+	if s.Samples != len(g.Raw) {
+		t.Fatalf("scored %d of %d golden samples", s.Samples, len(g.Raw))
+	}
+	if s.Accuracy < 0 || s.Accuracy > 1 || s.AUC < 0.5 {
+		t.Fatalf("implausible golden scores: %+v", s)
+	}
+	// A detector whose features are absent from the golden space must still
+	// evaluate (all masked), mirroring degraded serving.
+	alien := cloneDetector(det)
+	alien.FeatureNames = append([]string(nil), det.FeatureNames...)
+	for i := range alien.FeatureNames {
+		alien.FeatureNames[i] = "no-such-counter-" + alien.FeatureNames[i]
+	}
+	as := alien.EvaluateGolden(g)
+	if as.Samples != len(g.Raw) {
+		t.Fatalf("fully masked detector scored %d samples", as.Samples)
+	}
+}
+
+func TestCollectGoldenErrors(t *testing.T) {
+	if _, err := CollectGolden(nil, DefaultOptions()); err == nil {
+		t.Fatalf("empty workload list accepted")
+	}
+	opts := DefaultOptions()
+	opts.MaxInsts = 50_000
+	opts.Runs = 1
+	if _, err := CollectGolden(BenignWorkloads()[:2], opts); err == nil {
+		t.Fatalf("single-class golden corpus accepted")
+	}
+}
+
+func TestPromoteRequiresGolden(t *testing.T) {
+	if _, err := PromoteDetector("x", "y", nil); err == nil {
+		t.Fatalf("nil golden corpus accepted")
+	}
+	if _, err := PromoteDetector("x", "y", &GoldenSet{}); err == nil {
+		t.Fatalf("empty golden corpus accepted")
+	}
+}
+
+func TestPromoteFirstPromotion(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	livePath := filepath.Join(dir, "live.json")
+	saveDetector(t, cloneDetector(det), candPath)
+
+	p, err := PromoteDetector(candPath, livePath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Promoted || p.BaselineVersion != "" {
+		t.Fatalf("first promotion: %+v", p)
+	}
+	live, err := LoadFile(livePath)
+	if err != nil {
+		t.Fatalf("promoted checkpoint unloadable: %v", err)
+	}
+	if live.Lineage == nil || live.Lineage.Eval == nil || live.Lineage.PromotedAt == "" {
+		t.Fatalf("promotion did not stamp lineage: %+v", live.Lineage)
+	}
+	if live.Lineage.Eval.Samples != len(g.Raw) {
+		t.Fatalf("stamped eval covers %d samples, want %d", live.Lineage.Eval.Samples, len(g.Raw))
+	}
+}
+
+func TestPromoteEqualCandidatePromoted(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	livePath := filepath.Join(dir, "live.json")
+	baseline := cloneDetector(det)
+	saveDetector(t, baseline, livePath)
+	saveDetector(t, cloneDetector(det), candPath)
+
+	p, err := PromoteDetector(candPath, livePath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Promoted {
+		t.Fatalf("equal candidate rejected: %s", p.Reason)
+	}
+	if !strings.Contains(p.Reason, "no regression") {
+		t.Fatalf("unexpected reason: %s", p.Reason)
+	}
+	if p.Candidate != p.Baseline {
+		t.Fatalf("identical weights scored differently: cand %+v base %+v", p.Candidate, p.Baseline)
+	}
+	// The gate stamps lineage on a parentless candidate: the promoted file
+	// must chain back to the baseline it replaced.
+	live, err := LoadFile(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Lineage == nil || live.Lineage.Parent != baseline.Checksum {
+		t.Fatalf("promoted lineage parent = %+v, want %s", live.Lineage, baseline.Checksum)
+	}
+	if live.Lineage.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", live.Lineage.Generation)
+	}
+}
+
+func TestPromoteRegressedCandidateRejected(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	livePath := filepath.Join(dir, "live.json")
+	saveDetector(t, cloneDetector(det), livePath)
+	liveBefore := readBytes(t, livePath)
+
+	// Negated weights invert every score: a maximally regressed candidate.
+	bad := cloneDetector(det)
+	for i := range bad.Weights {
+		bad.Weights[i] = -bad.Weights[i]
+	}
+	bad.Bias = -bad.Bias
+	saveDetector(t, bad, candPath)
+
+	p, err := PromoteDetector(candPath, livePath, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Promoted {
+		t.Fatalf("regressed candidate promoted (cand %+v, base %+v)", p.Candidate, p.Baseline)
+	}
+	if !strings.Contains(p.Reason, "regressed") {
+		t.Fatalf("unexpected rejection reason: %s", p.Reason)
+	}
+	if !bytes.Equal(readBytes(t, livePath), liveBefore) {
+		t.Fatalf("rejection modified the live checkpoint")
+	}
+	if p.RejectedPath != livePath+".rejected" {
+		t.Fatalf("rejected path = %q", p.RejectedPath)
+	}
+	rej, err := LoadFile(p.RejectedPath)
+	if err != nil {
+		t.Fatalf("preserved rejected candidate unloadable: %v", err)
+	}
+	if rej.Lineage == nil || rej.Lineage.Eval == nil || rej.Lineage.PromotedAt != "" {
+		t.Fatalf("rejected lineage stamp wrong: %+v", rej.Lineage)
+	}
+}
+
+func TestPromoteCorruptCandidateRejected(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	livePath := filepath.Join(dir, "live.json")
+	saveDetector(t, cloneDetector(det), livePath)
+	liveBefore := readBytes(t, livePath)
+
+	// Truncate a valid checkpoint mid-file: decodes as neither valid JSON
+	// nor a checksum-clean payload.
+	good := readBytes(t, livePath)
+	if err := os.WriteFile(candPath, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := PromoteDetector(candPath, livePath, g)
+	if err != nil {
+		t.Fatalf("corrupt candidate must be a rejection, not an error: %v", err)
+	}
+	if p.Promoted {
+		t.Fatalf("corrupt candidate promoted")
+	}
+	if !strings.Contains(p.Reason, "unloadable") {
+		t.Fatalf("unexpected reason: %s", p.Reason)
+	}
+	if p.RejectedPath != "" {
+		t.Fatalf("unloadable candidate claims a rejected copy at %q", p.RejectedPath)
+	}
+	if !bytes.Equal(readBytes(t, livePath), liveBefore) {
+		t.Fatalf("corrupt candidate modified the live checkpoint")
+	}
+}
+
+// TestPromoteConcurrentReload drives repeated promotions against a reader
+// hot-reloading the live path, as the serving watcher does: every concurrent
+// load must observe a complete, checksum-clean checkpoint (run under -race).
+func TestPromoteConcurrentReload(t *testing.T) {
+	det := sharedDetector(t)
+	g := sharedGolden(t)
+	dir := t.TempDir()
+	candPath := filepath.Join(dir, "cand.json")
+	livePath := filepath.Join(dir, "live.json")
+	saveDetector(t, cloneDetector(det), livePath)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := LoadFile(livePath); err != nil {
+				t.Errorf("hot-reload observed a torn checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		saveDetector(t, cloneDetector(det), candPath)
+		p, err := PromoteDetector(candPath, livePath, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Promoted {
+			t.Fatalf("round %d: equal candidate rejected: %s", i, p.Reason)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# bench_append.sh — run `make bench` and append each run's parsed report to
+# the timestamped trajectory file BENCH_history.jsonl (one JSON line per
+# artifact per run), so the perf history ROADMAP tracks is actually recorded
+# instead of overwritten. The snapshot artifacts (BENCH_*.json) are still
+# refreshed exactly as `make bench` always has — this script only adds the
+# history dimension via benchjson's -append flag.
+#
+# Usage: scripts/bench_append.sh [HISTORY_FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HISTORY="${1:-BENCH_history.jsonl}"
+export BENCH_HISTORY="$HISTORY"
+
+make bench BENCH_HISTORY="$HISTORY"
+
+runs=$(wc -l <"$HISTORY")
+echo "bench_append: $HISTORY now holds $runs run lines"

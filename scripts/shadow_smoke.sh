@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# shadow_smoke.sh — end-to-end smoke test for the continual-learning loop
+# (see docs/MLOPS.md): `perspectron shadow` standalone and `perspectron serve
+# -shadow` in-process, with a race-enabled binary.
+#
+#   1. Standalone: N bounded shadow rounds against a freshly trained seed
+#      checkpoint — every round retrains incrementally, stages a candidate,
+#      and runs the promotion gate; the live checkpoint must remain a valid,
+#      loadable checkpoint afterwards, with the gate's verdict stamped in its
+#      lineage (promoted_at on promotion, a preserved .rejected otherwise).
+#   2. In-process: serve with the shadow trainer attached, verdict log tailed.
+#      The shadow round counter must advance, the drift gauge must appear in
+#      /metrics, and if the gate promotes, the running supervisor must
+#      hot-reload the new version (visible in /healthz).
+#   3. SIGTERM drains both the workers and the shadow loop cleanly.
+#
+# Env: CACHEDIR (corpus cache dir, default .corpus-cache), PORT (default 9467).
+set -euo pipefail
+
+CACHEDIR="${CACHEDIR:-.corpus-cache}"
+PORT="${PORT:-9467}"
+BIN=/tmp/perspectron-shadow-race
+DET=/tmp/shadow-smoke-det.json
+VERDICTS=/tmp/shadow-smoke-verdicts.jsonl
+LOG=/tmp/shadow-smoke.log
+SHADOWLOG=/tmp/shadow-smoke-standalone.log
+rm -f "$DET" "$DET.candidate" "$DET.rejected" "$VERDICTS" "$LOG" "$SHADOWLOG"
+
+fail() { echo "shadow_smoke: FAIL: $1" >&2; for f in "$LOG" "$SHADOWLOG"; do [ -f "$f" ] && tail -20 "$f" >&2; done; exit 1; }
+
+echo "== build (race) =="
+go build -race -o "$BIN" ./cmd/perspectron
+
+echo "== train a seed detector =="
+"$BIN" train -insts 50000 -runs 1 -cachedir "$CACHEDIR" -out "$DET"
+
+echo "== standalone shadow: 2 bounded rounds through the gate =="
+"$BIN" shadow -in "$DET" -workloads spectreV1,bzip2,mcf -insts 40000 \
+    -budget 3 -rounds 2 -seed 5 -cachedir "$CACHEDIR" 2>"$SHADOWLOG" \
+  || fail "standalone shadow exited non-zero"
+grep -q 'shadow: 2 rounds' "$SHADOWLOG" || fail "standalone summary missing"
+test -f "$DET.candidate" || fail "no staged candidate after shadow rounds"
+python3 - "$DET" "$SHADOWLOG" <<'EOF'
+import json, sys
+det = json.load(open(sys.argv[1]))
+log = open(sys.argv[2]).read()
+assert det.get("checksum", "").startswith("sha256:"), "live checkpoint lost its checksum"
+lineage = det.get("lineage") or {}
+if "promoted" in log:
+    assert lineage.get("promoted_at"), "promotion did not stamp promoted_at"
+    assert lineage.get("eval"), "promotion did not stamp eval scores"
+    assert lineage.get("generation", 0) >= 1, lineage
+else:
+    import os
+    assert os.path.exists(sys.argv[1] + ".rejected"), "rejected candidate not preserved"
+EOF
+
+echo "== serve -shadow: in-process rounds, drift gauge, hot-reload =="
+"$BIN" serve -in "$DET" -workloads spectreV1,bzip2 -insts 40000 \
+    -poll 200ms -verdicts "$VERDICTS" \
+    -shadow -shadow-workloads spectreV1,bzip2,mcf -shadow-interval 2s \
+    -shadow-budget 3 -shadow-insts 40000 \
+    -metrics-addr "127.0.0.1:$PORT" 2>"$LOG" &
+SERVE=$!
+trap 'kill "$SERVE" 2>/dev/null || true' EXIT
+
+for i in $(seq 60); do
+  [ "$(curl -fso /dev/null -w '%{http_code}' "http://127.0.0.1:$PORT/readyz" || true)" = 200 ] && break
+  kill -0 "$SERVE" 2>/dev/null || fail "serve exited before becoming ready"
+  sleep 1
+done
+V0=$(curl -fs "http://127.0.0.1:$PORT/healthz" | grep -o '"detector_version": "[^"]*"') \
+  || fail "/healthz missing the detector version"
+
+# Wait for at least one shadow round to complete (promoted or rejected).
+for i in $(seq 90); do
+  curl -fs "http://127.0.0.1:$PORT/metrics" > /tmp/shadow-smoke.metrics 2>/dev/null || true
+  grep -q 'perspectron_shadow_rounds_total{result="\(promoted\|rejected\)"}' /tmp/shadow-smoke.metrics && break
+  kill -0 "$SERVE" 2>/dev/null || fail "serve died while shadow training"
+  sleep 1
+done
+grep -q 'perspectron_shadow_rounds_total' /tmp/shadow-smoke.metrics \
+  || fail "no shadow round completed within 90s"
+grep -q 'perspectron_shadow_drift' /tmp/shadow-smoke.metrics \
+  || fail "drift gauge missing from /metrics"
+grep -q 'perspectron_promote_total' /tmp/shadow-smoke.metrics \
+  || fail "promotion gate counter missing from /metrics"
+
+# If the gate promoted, the watcher must hot-reload the new version.
+if grep -q 'perspectron_shadow_rounds_total{result="promoted"}' /tmp/shadow-smoke.metrics; then
+  for i in $(seq 30); do
+    V1=$(curl -fs "http://127.0.0.1:$PORT/healthz" | grep -o '"detector_version": "[^"]*"')
+    [ "$V1" != "$V0" ] && break
+    sleep 1
+  done
+  [ "$V1" != "$V0" ] || fail "promotion happened but the supervisor never hot-reloaded it"
+  grep -q 'hot-reloaded models' "$LOG" || fail "hot-reload not logged"
+else
+  test -f "$DET.rejected" || fail "all rounds rejected but no .rejected candidate preserved"
+fi
+
+echo "== SIGTERM drains workers and shadow loop cleanly =="
+kill -TERM "$SERVE"
+for i in $(seq 60); do kill -0 "$SERVE" 2>/dev/null || break; sleep 1; done
+kill -0 "$SERVE" 2>/dev/null && fail "serve did not exit within 60s of SIGTERM"
+trap - EXIT
+wait "$SERVE" || fail "serve exited non-zero after SIGTERM"
+grep -q 'drained cleanly' "$LOG" || fail "drain message missing from serve log"
+test -s "$VERDICTS" || fail "verdict log empty after drain"
+
+echo "shadow_smoke: OK (initial ${V0})"
