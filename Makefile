@@ -10,7 +10,7 @@ BENCH ?= .
 BENCH_HISTORY ?=
 BENCH_APPEND = $(if $(BENCH_HISTORY),-append $(BENCH_HISTORY),)
 
-.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow
+.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow smoke-explain
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -55,7 +55,7 @@ bench:
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json $(BENCH_APPEND)
 	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench_hotpath.out
 	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json $(BENCH_APPEND)
-	$(GO) test -bench '^BenchmarkServeSaturation$$' -benchtime $(BENCHTIME) -run '^$$' ./internal/serve | tee bench_serve.out
+	$(GO) test -bench '^BenchmarkServe(Saturation|ForensicsOverhead)$$' -benchtime $(BENCHTIME) -run '^$$' ./internal/serve | tee bench_serve.out
 	$(GO) run ./cmd/benchjson -in bench_serve.out -out BENCH_serve.json $(BENCH_APPEND)
 
 # bench-history is `make bench` plus the timestamped trajectory: every run
@@ -70,3 +70,11 @@ bench-history:
 # promoted version (see scripts/shadow_smoke.sh).
 smoke-shadow:
 	bash scripts/shadow_smoke.sh
+
+# smoke-explain is the verdict-forensics gate: a bounded serve run must stamp
+# trace IDs, stage timings and feature attributions into the verdict log, and
+# `perspectron explain` must reconstruct a recorded verdict offline with a
+# bit-for-bit identical attribution — and catch a tampered log with a
+# non-zero exit (see scripts/explain_smoke.sh and docs/OBSERVABILITY.md).
+smoke-explain:
+	bash scripts/explain_smoke.sh

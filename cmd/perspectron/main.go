@@ -14,7 +14,12 @@
 //	                   [-sample-timeout D] [-episode-timeout D] [-poll D]
 //	                   [-shards N] [-queue-depth N] [-batch N]
 //	                   [-load-high F] [-load-critical F]
+//	                   [-attr-k N] [-attr-benign-every N] [-flight N]
+//	                   [-slow-sample D] [-slo-latency D]
+//	                   [-slo-latency-budget F] [-slo-shed-budget F]
 //	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-faultseed N]
+//	perspectron explain -verdicts FILE [-in detector.json]
+//	                   [-trace ID | -index N] [-force] [-json]
 //	perspectron list
 //
 // `detect` monitors the named workload on a fresh simulated machine and
@@ -30,10 +35,18 @@
 // on both counter coverage and queue load, and /healthz + /readyz next to
 // /metrics when -metrics-addr is given. SIGINT/SIGTERM drains cleanly,
 // flushing the verdict log.
+//
+// `explain` reconstructs a recorded verdict offline (docs/OBSERVABILITY.md):
+// given the JSONL verdict log and the detector checkpoint version stamped
+// into the record, it re-derives the score and the top-k weight×bit feature
+// attributions from the recorded fired set and diffs them against what the
+// serving path logged — bit-for-bit when nothing was tampered with. Exit
+// status 1 means the reconstruction diverged.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,6 +84,8 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "shadow":
 		cmdShadow(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
 	case "list":
 		cmdList()
 	default:
@@ -79,7 +94,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|serve|shadow|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: perspectron {train|detect|classify-train|classify|info|serve|shadow|explain|list} [flags]")
 	os.Exit(2)
 }
 
@@ -438,6 +453,14 @@ func cmdServe(args []string) {
 	batch := fs.Int("batch", 0, "max samples per scorer sweep (0 = 256)")
 	loadHigh := fs.Float64("load-high", 0, "queue pressure that starts backpressure + classifier demotion (0 = 0.75)")
 	loadCritical := fs.Float64("load-critical", 0, "queue pressure that demotes to the threshold rung (0 = 0.9)")
+	attrK := fs.Int("attr-k", 0, "top-k feature attributions stamped on flagged verdicts (0 = 5, negative disables)")
+	attrBenign := fs.Int("attr-benign-every", 0, "also attribute every Nth benign verdict per shard (0 = off)")
+	flightSize := fs.Int("flight", 0, "flight-recorder capacity for /debug/verdicts (0 = 256, negative disables)")
+	slowSample := fs.Duration("slow-sample", 0, "enqueue-to-verdict latency that emits a slow-sample exemplar to -trace-out (0 = 250ms, negative disables)")
+	sloLatency := fs.Duration("slo-latency", 0, "verdict-latency SLO target for the burn-rate gauges (0 = 50ms, negative disables SLO tracking)")
+	sloLatencyBudget := fs.Float64("slo-latency-budget", 0, "error budget: tolerated fraction of verdicts over -slo-latency (0 = 0.01)")
+	sloShedBudget := fs.Float64("slo-shed-budget", 0, "error budget: tolerated shed fraction (0 = 0.01)")
+	noTrace := fs.Bool("no-stage-trace", false, "disable per-sample trace IDs and stage timings in verdict records")
 	dropout := fs.Float64("dropout", 0, "per-sample counter dropout probability (fault injection)")
 	stuck0 := fs.Float64("stuck0", 0, "fraction of counters stuck at zero")
 	stuckMax := fs.Float64("stuckmax", 0, "fraction of counters stuck at saturation")
@@ -470,6 +493,15 @@ func cmdServe(args []string) {
 		Batch:          *batch,
 		LoadHigh:       *loadHigh,
 		LoadCritical:   *loadCritical,
+
+		DisableTracing:   *noTrace,
+		AttributionK:     *attrK,
+		AttrBenignEvery:  *attrBenign,
+		FlightSize:       *flightSize,
+		SlowSample:       *slowSample,
+		SLOLatencyTarget: *sloLatency,
+		SLOLatencyBudget: *sloLatencyBudget,
+		SLOShedBudget:    *sloShedBudget,
 	}
 	if *dropout > 0 || *stuck0 > 0 || *stuckMax > 0 {
 		cfg.Faults = &perspectron.FaultConfig{
@@ -503,6 +535,7 @@ func cmdServe(args []string) {
 		fatal(err)
 	}
 	defer stop()
+	sup.SetListenAddr(tel.Bound) // /healthz self-reports the scrape address
 
 	det, cls := sup.Models().Versions()
 	fmt.Fprintf(os.Stderr, "serve: %d workers, detector %s, classifier %s\n",
@@ -616,6 +649,7 @@ func cmdShadow(args []string) {
 		fatal(err)
 	}
 	defer stop()
+	trainer.SetListenAddr(tel.Bound)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -643,6 +677,116 @@ func cmdShadow(args []string) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "shadow: stopped on signal")
+}
+
+// cmdExplain is the offline half of verdict forensics: pick one record out
+// of a JSONL verdict log (by trace ID, by position, or the most recent
+// attributed one), re-derive its score and top-k feature attributions from
+// the recorded fired set using the detector checkpoint, and diff the
+// reconstruction against what the serving path logged. A consistent record
+// reproduces bit-for-bit; exit status 1 flags divergence (a tampered log, a
+// wrong checkpoint, or a scoring bug).
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	verdicts := fs.String("verdicts", "", "JSONL verdict log to read (required)")
+	in := fs.String("in", "detector.json", "detector checkpoint that produced the verdicts")
+	trace := fs.String("trace", "", "select the record with this trace ID (worker/episode/sample)")
+	index := fs.Int("index", -1, "select the Nth record in the log, 0-based (-1 = last attributed record)")
+	force := fs.Bool("force", false, "explain across a checkpoint-version mismatch (expect diffs)")
+	asJSON := fs.Bool("json", false, "emit the full explanation as JSON instead of the report")
+	fs.Parse(args)
+	if *verdicts == "" {
+		fmt.Fprintln(os.Stderr, "explain: -verdicts required")
+		os.Exit(2)
+	}
+
+	recs, corrupt, _, err := serve.ReadVerdictLog(*verdicts, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "explain: skipped %d corrupt lines\n", corrupt)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("no verdict records in %s", *verdicts))
+	}
+	var rec *serve.VerdictRecord
+	switch {
+	case *trace != "":
+		for i := range recs {
+			if recs[i].Trace == *trace {
+				rec = &recs[i]
+				break
+			}
+		}
+		if rec == nil {
+			fatal(fmt.Errorf("no record with trace %q in %s", *trace, *verdicts))
+		}
+	case *index >= 0:
+		if *index >= len(recs) {
+			fatal(fmt.Errorf("index %d out of range: %s holds %d records", *index, *verdicts, len(recs)))
+		}
+		rec = &recs[*index]
+	default:
+		for i := len(recs) - 1; i >= 0; i-- {
+			if len(recs[i].Fired) > 0 {
+				rec = &recs[i]
+				break
+			}
+		}
+		if rec == nil {
+			fatal(fmt.Errorf("no attributed records in %s (serve with attribution enabled, see -attr-k)", *verdicts))
+		}
+	}
+
+	det := loadDetector(*in)
+	e, err := serve.Explain(det, *rec, *force)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(e); err != nil {
+			fatal(err)
+		}
+	} else {
+		printExplanation(e)
+	}
+	if !e.Consistent() {
+		os.Exit(1)
+	}
+}
+
+func printExplanation(e *serve.Explanation) {
+	r := e.Record
+	fmt.Printf("verdict %s  (worker %s, episode %d, sample %d)\n",
+		r.Trace, r.Worker, r.Episode, r.Sample)
+	fmt.Printf("  mode %s  score %+.6f  flagged=%v  version %s\n",
+		r.Mode, r.Score, r.Flagged, r.Version)
+	if r.LatencyMs > 0 {
+		logMs := r.LatencyMs - r.QueueMs - r.BatchMs - r.ScoreMs
+		if logMs < 0 {
+			logMs = 0
+		}
+		fmt.Printf("  stages: queue %.3fms + batch %.3fms + score %.3fms + log %.3fms = %.3fms\n",
+			r.QueueMs, r.BatchMs, r.ScoreMs, logMs, r.LatencyMs)
+	}
+	fmt.Printf("\nreconstructed from %d fired features (checkpoint %s):\n",
+		len(r.Fired), e.Version)
+	fmt.Printf("  score %+.6f  (recorded %+.6f, match=%v)\n", e.Score, r.Score, e.ScoreMatch)
+	for i, c := range e.Attr {
+		fmt.Printf("  %2d. %-44s weight %+8.4f  share %+6.1f%%\n",
+			i+1, c.Feature, c.Weight, c.Share*100)
+	}
+	if e.Consistent() {
+		fmt.Println("\nconsistent: reconstruction matches the recorded verdict bit-for-bit")
+		return
+	}
+	fmt.Println("\nDIVERGED from the recorded verdict:")
+	for _, d := range e.Diffs {
+		fmt.Printf("  - %s\n", d)
+	}
 }
 
 func cmdList() {

@@ -1,0 +1,99 @@
+package perspectron
+
+// Doc-drift guard for the metric catalogue: every perspectron_* series
+// registered by non-test code must have a row in docs/OBSERVABILITY.md's
+// tables, and every row there must correspond to a series the code still
+// registers. The code side extracts quoted `perspectron_...` string literals
+// (both quote styles), which is exactly where series names live — prose
+// mentions in comments don't count; the docs side extracts tokens from
+// `|`-prefixed table rows only, so examples in shell snippets don't count
+// either. Add the series to the catalogue when you add the instrument;
+// delete the row when you delete it.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var (
+	codeSeriesRe = regexp.MustCompile("[\"`](perspectron_[a-z0-9_]+)")
+	docSeriesRe  = regexp.MustCompile(`perspectron_[a-z0-9_]+`)
+)
+
+func TestMetricCatalogueMatchesCode(t *testing.T) {
+	code := map[string]string{} // series -> first file registering it
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".corpus-cache", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range codeSeriesRe.FindAllStringSubmatch(string(b), -1) {
+			if _, ok := code[m[1]]; !ok {
+				code[m[1]] = path
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) == 0 {
+		t.Fatal("no perspectron_* series literals found in code — the scanner is broken")
+	}
+
+	docBytes, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := map[string]bool{}
+	for _, line := range strings.Split(string(docBytes), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range docSeriesRe.FindAllString(line, -1) {
+			doc[m] = true
+		}
+	}
+	if len(doc) == 0 {
+		t.Fatal("no perspectron_* series rows found in docs/OBSERVABILITY.md — the extractor is broken")
+	}
+
+	var missing []string
+	for s, file := range code {
+		if !doc[s] {
+			missing = append(missing, s+" (registered in "+file+")")
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Errorf("series %s has no row in the docs/OBSERVABILITY.md catalogue", m)
+	}
+	var stale []string
+	for s := range doc {
+		if _, ok := code[s]; !ok {
+			stale = append(stale, s)
+		}
+	}
+	sort.Strings(stale)
+	for _, s := range stale {
+		t.Errorf("docs/OBSERVABILITY.md catalogues %s but no non-test code registers it", s)
+	}
+}

@@ -147,3 +147,74 @@ func BenchmarkServeSaturation(b *testing.B) {
 	b.ReportMetric(unlogged, "unlogged_sheds")
 	b.ReportMetric(0, "ns/op") // wall time is the saturation run, not a unit op
 }
+
+// BenchmarkServeForensicsOverhead pins the per-verdict cost of the
+// forensics layer, in the same family as BenchmarkMonitorTelemetryOverhead:
+// the "off" arm (tracing, attribution, flight recorder, SLO, slow exemplars
+// all disabled) must match the pre-forensics scoring hot path — the
+// acceptance criterion against the BENCH_serve.json baseline — while the
+// "on" arm prices what the default configuration pays per scored sample.
+func BenchmarkServeForensicsOverhead(b *testing.B) {
+	det, _ := testModels(b)
+	ctx := context.Background()
+	sess, err := perspectron.NewSession(ctx, det, nil, perspectron.SessionConfig{
+		Workload: perspectron.AttackByName("spectreV1", "fr"),
+		MaxInsts: 60_000,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var samples []perspectron.RawSample
+	for {
+		rs, ok := sess.NextRaw(ctx)
+		if !ok {
+			break
+		}
+		samples = append(samples, rs)
+	}
+	sess.Close()
+	if len(samples) == 0 {
+		b.Fatal("no raw samples harvested")
+	}
+
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"off", Config{
+			DisableTracing:   true,
+			AttributionK:     -1,
+			FlightSize:       -1,
+			SlowSample:       -1,
+			SLOLatencyTarget: -1,
+		}},
+		{"on", Config{}}, // the forensics defaults: tracing + attribution + flight + SLO
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := arm.cfg
+			cfg.Detector = det
+			cfg.Workloads = []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh := s.shards[0]
+			w := &worker{id: 0, name: "bench", benign: false,
+				ladder: newLadder(s.cfg.ClassifierFloor, s.cfg.DetectorFloor, s.cfg.Hysteresis, false)}
+			var cache scorerCache
+			loadMode, _ := sh.load.snapshot()
+			now := time.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := &ingestItem{w: w, episode: 0, sample: samples[i%len(samples)],
+					enqueuedAt: now, dequeuedAt: now}
+				if !s.scoreItem(sh, &cache, it, loadMode) {
+					b.Fatal("scorer panicked")
+				}
+			}
+		})
+	}
+}

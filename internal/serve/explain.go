@@ -1,0 +1,82 @@
+package serve
+
+// Offline verdict reconstruction: the `perspectron explain` core. A verdict
+// record stamps the checkpoint version that scored it plus the exact fired
+// slot set, and the detector is linear, so the full score and attribution
+// re-derive bit-for-bit from the checkpoint alone — no raw counter vector
+// needed. Explain recomputes both and diffs them against what the serving
+// path recorded: a mismatch means the record was tampered with, the
+// checkpoint on disk is not the one that scored it, or the scoring path has
+// a real bug — all three worth an alarm, which is why the smoke test and
+// the explain CLI exit non-zero on any diff.
+
+import (
+	"fmt"
+
+	"perspectron"
+)
+
+// Explanation is one reconstructed verdict.
+type Explanation struct {
+	// Record is the verdict as logged.
+	Record VerdictRecord `json:"record"`
+	// Version is the checkpoint the reconstruction ran against; Score and
+	// Attr are the values re-derived from it.
+	Version string                     `json:"version"`
+	Score   float64                    `json:"score"`
+	Attr    []perspectron.Contribution `json:"attr"`
+	// ScoreMatch / AttrMatch report bit-for-bit agreement with the record;
+	// Diffs lists every disagreement in human-readable form.
+	ScoreMatch bool     `json:"score_match"`
+	AttrMatch  bool     `json:"attr_match"`
+	Diffs      []string `json:"diffs,omitempty"`
+}
+
+// Consistent reports full agreement between the record and the
+// reconstruction.
+func (e *Explanation) Consistent() bool { return e.ScoreMatch && e.AttrMatch }
+
+// Explain reconstructs rec's score and attribution from det and diffs them
+// against the recorded values. It refuses records without a fired set
+// (attribution was off or the sample wasn't selected) and, unless force is
+// set, records stamped with a different checkpoint version than det — a
+// cross-version reconstruction is exactly the inconsistency the diff exists
+// to catch, so it must be asked for explicitly.
+func Explain(det *perspectron.Detector, rec VerdictRecord, force bool) (*Explanation, error) {
+	if det == nil {
+		return nil, fmt.Errorf("serve: explain needs a detector")
+	}
+	if rec.Fired == nil {
+		return nil, fmt.Errorf("serve: verdict %s/%d/%d carries no fired set — attribution was not recorded for it",
+			rec.Worker, rec.Episode, rec.Sample)
+	}
+	if ver := det.Version(); !force && rec.Version != "" && ver != rec.Version {
+		return nil, fmt.Errorf("serve: verdict was scored by checkpoint %s but this checkpoint is %s (use force to diff anyway)",
+			rec.Version, ver)
+	}
+	score, attr, err := det.AttributeFired(rec.Fired, len(rec.Attr))
+	if err != nil {
+		return nil, fmt.Errorf("serve: re-deriving attribution: %w", err)
+	}
+	e := &Explanation{Record: rec, Version: det.Version(), Score: score, Attr: attr,
+		ScoreMatch: true, AttrMatch: true}
+	// Threshold-rung and classifier-rung records keep the detector margin in
+	// Score, so the comparison holds across all scored modes; float64 JSON
+	// round-trips are exact, making == the right check.
+	if score != rec.Score {
+		e.ScoreMatch = false
+		e.Diffs = append(e.Diffs, fmt.Sprintf("score: recorded %v, re-derived %v", rec.Score, score))
+	}
+	if len(attr) != len(rec.Attr) {
+		e.AttrMatch = false
+		e.Diffs = append(e.Diffs, fmt.Sprintf("attr: recorded %d contributions, re-derived %d", len(rec.Attr), len(attr)))
+	} else {
+		for i := range attr {
+			if attr[i] != rec.Attr[i] {
+				e.AttrMatch = false
+				e.Diffs = append(e.Diffs, fmt.Sprintf("attr[%d]: recorded %+v, re-derived %+v", i, rec.Attr[i], attr[i]))
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,47 @@
+package serve
+
+// The flight recorder: the last N fully-attributed verdict records, held in
+// a lock-free telemetry.Ring and served at /debug/verdicts. The verdict log
+// is the durable stream; the recorder is the "what just happened" view an
+// operator opens first — every entry carries the trace timings and the
+// weight×bit attribution, so a fresh alert can be triaged from one curl
+// without touching the log file (docs/OBSERVABILITY.md walks through it).
+
+import (
+	"net/http"
+
+	"perspectron/internal/telemetry"
+)
+
+// flightRecorder wraps the ring; the nil recorder (disabled) absorbs pushes
+// and serves an empty snapshot.
+type flightRecorder struct {
+	ring *telemetry.Ring
+}
+
+// newFlightRecorder returns a recorder holding the last n attributed
+// verdicts, or nil when n <= 0.
+func newFlightRecorder(n int) *flightRecorder {
+	if n <= 0 {
+		return nil
+	}
+	return &flightRecorder{ring: telemetry.NewRing(n)}
+}
+
+// push records one verdict. The record is stored by value, so the caller's
+// copy can be reused freely.
+func (f *flightRecorder) push(rec VerdictRecord) {
+	if f == nil {
+		return
+	}
+	f.ring.Push(rec)
+}
+
+// handler serves the recorder as JSON (telemetry.RingSnapshot with
+// VerdictRecord entries, oldest first).
+func (f *flightRecorder) handler() http.Handler {
+	if f == nil {
+		return telemetry.RingHandler(nil)
+	}
+	return telemetry.RingHandler(f.ring)
+}

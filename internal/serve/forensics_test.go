@@ -1,0 +1,321 @@
+package serve
+
+// Verdict-forensics tests: end-to-end tracing + attribution through a live
+// supervisor, the offline Explain round trip (including tamper detection),
+// the flight recorder surface, SLO burn math, and the disabled-everything
+// configuration that the zero-overhead benchmark pins.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"perspectron"
+	"perspectron/internal/telemetry"
+)
+
+func TestForensicsEndToEnd(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	det, _ := testModels(t)
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Detector:        det,
+		Workloads:       []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		MaxInsts:        60_000,
+		MaxEpisodes:     1,
+		Backoff:         fastBackoff(),
+		VerdictLog:      NewVerdictLog(&buf),
+		AttributionK:    4,
+		AttrBenignEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetListenAddr("127.0.0.1:9464")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var flaggedRecs []VerdictRecord
+	total, attributed, benign := 0, 0, 0
+	sc := NewVerdictScanner(bytes.NewReader(buf.Bytes()))
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		total++
+		// Tentpole invariant: every verdict record carries a trace ID and
+		// stage timestamps.
+		want := fmt.Sprintf("%s/%d/%d", rec.Worker, rec.Episode, rec.Sample)
+		if rec.Trace != want {
+			t.Fatalf("trace = %q, want %q", rec.Trace, want)
+		}
+		if rec.QueueMs < 0 || rec.BatchMs < 0 || rec.ScoreMs < 0 {
+			t.Fatalf("negative stage timing: %+v", rec)
+		}
+		if stages := rec.QueueMs + rec.BatchMs + rec.ScoreMs; stages > rec.LatencyMs+0.5 {
+			t.Fatalf("stage sum %.3fms exceeds total %.3fms", stages, rec.LatencyMs)
+		}
+		if rec.Attr != nil {
+			attributed++
+			if len(rec.Attr) > 4 {
+				t.Fatalf("attr has %d contributions, K=4", len(rec.Attr))
+			}
+			for i := 1; i < len(rec.Attr); i++ {
+				if math.Abs(rec.Attr[i].Weight) > math.Abs(rec.Attr[i-1].Weight) {
+					t.Fatalf("attr not sorted by |weight|: %+v", rec.Attr)
+				}
+			}
+		}
+		if rec.Flagged {
+			if len(rec.Fired) == 0 || rec.Attr == nil {
+				t.Fatalf("flagged verdict lacks attribution: %+v", rec)
+			}
+			flaggedRecs = append(flaggedRecs, rec)
+		} else {
+			benign++
+		}
+	}
+	if total == 0 || len(flaggedRecs) == 0 {
+		t.Fatalf("got %d verdicts, %d flagged — need both", total, len(flaggedRecs))
+	}
+	if benign >= 2 && attributed <= len(flaggedRecs) {
+		t.Fatalf("benign sampling recorded nothing: %d attributed, %d flagged, %d benign",
+			attributed, len(flaggedRecs), benign)
+	}
+
+	// Offline reconstruction: every flagged verdict re-derives bit-for-bit
+	// after a JSON round trip through the log.
+	for _, rec := range flaggedRecs {
+		e, err := Explain(det, rec, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Consistent() {
+			t.Fatalf("explain diverged: %v", e.Diffs)
+		}
+	}
+
+	// Tampering is caught on both axes.
+	tampered := flaggedRecs[0]
+	tampered.Score += 1e-9
+	if e, err := Explain(det, tampered, false); err != nil || e.ScoreMatch {
+		t.Fatalf("score tamper not flagged: err=%v match=%v", err, e != nil && e.ScoreMatch)
+	}
+	tampered = flaggedRecs[0]
+	tampered.Attr = append([]perspectron.Contribution(nil), tampered.Attr...)
+	tampered.Attr[0].Weight *= 2
+	if e, err := Explain(det, tampered, false); err != nil || e.AttrMatch {
+		t.Fatalf("attr tamper not flagged: err=%v", err)
+	}
+	// Version mismatch refuses without force, diffs with it.
+	wrongVer := flaggedRecs[0]
+	wrongVer.Version = "deadbeef0000"
+	if _, err := Explain(det, wrongVer, false); err == nil {
+		t.Fatal("cross-version explain accepted without force")
+	}
+	if e, err := Explain(det, wrongVer, true); err != nil || !e.Consistent() {
+		t.Fatalf("forced cross-version explain failed: %v", err)
+	}
+	// Records without a fired set are refused.
+	if _, err := Explain(det, VerdictRecord{Worker: "w"}, false); err == nil {
+		t.Fatal("unattributed record accepted")
+	}
+
+	// Stage histograms observed every scored sample.
+	for _, name := range []string{stageQueue, stageBatch, stageScore, stageLog} {
+		if c := reg.Histogram(name, telemetry.LatencyBuckets).Count(); c == 0 {
+			t.Fatalf("stage histogram %s empty", name)
+		}
+	}
+
+	// Flight recorder: mounted, holding attributed records.
+	handlers := s.Handlers()
+	fh, ok := handlers["/debug/verdicts"]
+	if !ok {
+		t.Fatal("/debug/verdicts not mounted")
+	}
+	rr := httptest.NewRecorder()
+	fh.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/verdicts", nil))
+	var snap struct {
+		Capacity int             `json:"capacity"`
+		Count    uint64          `json:"count"`
+		Entries  []VerdictRecord `json:"entries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Capacity != 256 || snap.Count == 0 || len(snap.Entries) == 0 {
+		t.Fatalf("flight snapshot = cap %d count %d entries %d", snap.Capacity, snap.Count, len(snap.Entries))
+	}
+	for _, rec := range snap.Entries {
+		if rec.Attr == nil || rec.Trace == "" {
+			t.Fatalf("flight entry not fully attributed: %+v", rec)
+		}
+	}
+
+	// Health self-discovery + SLO block.
+	h := s.Health()
+	if h.MetricsAddr != "127.0.0.1:9464" {
+		t.Fatalf("metrics addr = %q", h.MetricsAddr)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", h.UptimeSeconds)
+	}
+	if h.SLO == nil || h.SLO.Samples == 0 {
+		t.Fatalf("SLO block missing: %+v", h.SLO)
+	}
+	if h.SLO.Breach {
+		t.Fatalf("clean fast run breached SLO: %+v", h.SLO)
+	}
+}
+
+func TestForensicsDisabledLeavesRecordsBare(t *testing.T) {
+	det, _ := testModels(t)
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Detector:         det,
+		Workloads:        []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		MaxInsts:         40_000,
+		MaxEpisodes:      1,
+		Backoff:          fastBackoff(),
+		VerdictLog:       NewVerdictLog(&buf),
+		DisableTracing:   true,
+		AttributionK:     -1,
+		FlightSize:       -1,
+		SlowSample:       -1,
+		SLOLatencyTarget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Run(ctx); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	total := 0
+	sc := NewVerdictScanner(bytes.NewReader(buf.Bytes()))
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		total++
+		if rec.Trace != "" || rec.Fired != nil || rec.Attr != nil ||
+			rec.QueueMs != 0 || rec.BatchMs != 0 || rec.ScoreMs != 0 {
+			t.Fatalf("disabled forensics still stamped record: %+v", rec)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no verdicts")
+	}
+	if _, ok := s.Handlers()["/debug/verdicts"]; ok {
+		t.Fatal("/debug/verdicts mounted with FlightSize disabled")
+	}
+	if h := s.Health(); h.SLO != nil {
+		t.Fatalf("SLO block present when disabled: %+v", h.SLO)
+	}
+}
+
+func TestSLOTrackerBurnMath(t *testing.T) {
+	cfg := Config{
+		SLOLatencyTarget: 10 * time.Millisecond,
+		SLOLatencyBudget: 0.1,
+		SLOShedBudget:    0.1,
+		SLOAlpha:         0.5,
+	}
+	tr := newSLOTracker(cfg)
+	if tr == nil {
+		t.Fatal("tracker disabled despite positive target")
+	}
+	// Fast verdicts: no burn.
+	for i := 0; i < 20; i++ {
+		tr.observe(time.Millisecond, false)
+	}
+	h := tr.snapshot()
+	if h.Breach || h.LatencyBurn != 0 || h.ShedBurn != 0 || h.Samples != 20 {
+		t.Fatalf("fast traffic burned: %+v", h)
+	}
+	// Sustained slow verdicts push the slow fraction toward 1 = 10× budget.
+	for i := 0; i < 20; i++ {
+		tr.observe(time.Second, false)
+	}
+	h = tr.snapshot()
+	if !h.Breach || h.LatencyBurn < 5 {
+		t.Fatalf("slow traffic did not breach: %+v", h)
+	}
+	// Shed burn is independent of latency burn.
+	tr2 := newSLOTracker(cfg)
+	for i := 0; i < 20; i++ {
+		tr2.observe(0, true)
+	}
+	h = tr2.snapshot()
+	if !h.Breach || h.ShedBurn < 5 || h.LatencyBurn != 0 {
+		t.Fatalf("shed traffic did not breach: %+v", h)
+	}
+	// Disabled tracker: nil-safe everywhere.
+	var nilTr *sloTracker
+	nilTr.observe(time.Second, true)
+	if nilTr.snapshot() != nil {
+		t.Fatal("nil tracker snapshot not nil")
+	}
+	neg := Config{SLOLatencyTarget: -1}
+	if newSLOTracker(neg.withDefaults()) != nil {
+		t.Fatal("negative target did not disable SLO")
+	}
+}
+
+// TestShedRecordsCarryTrace forces shedding through a tiny queue and checks
+// the shed verdicts still join the trace stream and burn the shed SLO.
+func TestShedRecordsCarryTrace(t *testing.T) {
+	det, _ := testModels(t)
+	s, err := New(Config{
+		Detector:   det,
+		Workloads:  []perspectron.Workload{perspectron.AttackByName("spectreV1", "fr")},
+		Shards:     1,
+		QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &worker{id: 0, name: "burst", benign: true,
+		ladder: newLadder(s.cfg.ClassifierFloor, s.cfg.DetectorFloor, s.cfg.Hysteresis, false)}
+	var sheds []VerdictRecord
+	s.onVerdict = func(rec VerdictRecord) {
+		if rec.Shed {
+			sheds = append(sheds, rec)
+		}
+	}
+	// No scorer running: the queue fills at depth 4 and everything after
+	// sheds deterministically.
+	rs := perspectron.RawSample{Sample: 0, Raw: make([]float64, 8)}
+	for i := 0; i < 10; i++ {
+		rs.Sample = i
+		s.route(w, 3, rs)
+	}
+	if len(sheds) != 6 {
+		t.Fatalf("%d sheds, want 6", len(sheds))
+	}
+	for _, rec := range sheds {
+		want := fmt.Sprintf("burst/3/%d", rec.Sample)
+		if rec.Trace != want {
+			t.Fatalf("shed trace = %q, want %q", rec.Trace, want)
+		}
+		if rec.QueueMs < 0 {
+			t.Fatalf("shed queue wait negative: %+v", rec)
+		}
+	}
+	if h := s.Health(); h.SLO == nil || h.SLO.ShedFraction == 0 {
+		t.Fatalf("sheds not folded into SLO: %+v", h.SLO)
+	}
+}

@@ -41,10 +41,16 @@ type Health struct {
 	// shard down or load-degraded), "degraded" (any worker or shard on a
 	// lower rung, an open breaker, a down shard, a rolled-back reload, or a
 	// failing verdict log), or "draining" (shutdown in progress).
-	Status            string `json:"status"`
-	Ready             bool   `json:"ready"`
-	DetectorVersion   string `json:"detector_version"`
-	ClassifierVersion string `json:"classifier_version"`
+	Status string `json:"status"`
+	Ready  bool   `json:"ready"`
+	// MetricsAddr is the bound metrics/health listen address — the
+	// self-discovery answer for processes started with `-metrics-addr :0`,
+	// whose real port was previously visible only on stderr.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
+	// UptimeSeconds counts from supervisor construction.
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+	DetectorVersion   string  `json:"detector_version"`
+	ClassifierVersion string  `json:"classifier_version"`
 	Reloads           int    `json:"reloads"`
 	Rollbacks         int    `json:"rollbacks"`
 	ReloadError       string `json:"reload_error,omitempty"`
@@ -58,10 +64,13 @@ type Health struct {
 	// ShadowDrift is the shadow trainer's smoothed feature-distribution
 	// drift (present only when a shadow loop is attached); DriftAlarm marks
 	// it past the configured threshold and degrades the service status.
-	ShadowDrift float64        `json:"shadow_drift,omitempty"`
-	DriftAlarm  bool           `json:"drift_alarm,omitempty"`
-	Workers     []WorkerHealth `json:"workers"`
-	Shards      []ShardHealth  `json:"shards"`
+	ShadowDrift float64 `json:"shadow_drift,omitempty"`
+	DriftAlarm  bool    `json:"drift_alarm,omitempty"`
+	// SLO is the burn-rate block (nil when SLO tracking is disabled); a
+	// breach degrades Status.
+	SLO     *SLOHealth     `json:"slo,omitempty"`
+	Workers []WorkerHealth `json:"workers"`
+	Shards  []ShardHealth  `json:"shards"`
 }
 
 // DriftProbe reports a shadow trainer's current smoothed drift and whether
@@ -79,13 +88,27 @@ func (s *Supervisor) SetDriftProbe(p DriftProbe) {
 	s.driftProbe.Store(&p)
 }
 
+// SetListenAddr records the bound metrics/health address for /healthz
+// self-discovery (the CLI calls it once the telemetry server is up). Safe
+// to call concurrently with Health.
+func (s *Supervisor) SetListenAddr(addr string) {
+	if addr == "" {
+		return
+	}
+	s.listenAddr.Store(&addr)
+}
+
 // Health snapshots the supervisor for the health endpoints (and tests).
 func (s *Supervisor) Health() Health {
 	h := Health{
 		Status:         "ok",
 		Ready:          s.ready.Load(),
+		UptimeSeconds:  time.Since(s.started).Seconds(),
 		Verdicts:       s.log.count(),
 		VerdictVersion: s.log.version(),
+	}
+	if addr := s.listenAddr.Load(); addr != nil {
+		h.MetricsAddr = *addr
 	}
 	h.DetectorVersion, h.ClassifierVersion = s.models.Load().Versions()
 	if s.watch != nil {
@@ -101,7 +124,9 @@ func (s *Supervisor) Health() Health {
 	if p := s.driftProbe.Load(); p != nil {
 		h.ShadowDrift, h.DriftAlarm = (*p)()
 	}
-	degraded := h.ReloadError != "" || h.LogError != "" || h.DriftAlarm
+	h.SLO = s.slo.snapshot()
+	degraded := h.ReloadError != "" || h.LogError != "" || h.DriftAlarm ||
+		(h.SLO != nil && h.SLO.Breach)
 	topMode := "detector"
 	if s.models.Load().Cls != nil {
 		topMode = "classifier"
@@ -198,10 +223,15 @@ func (s *Supervisor) Readyz() http.Handler {
 }
 
 // Handlers returns the health routes keyed by pattern, shaped for
-// telemetry.ServeWith / telemetrycli's Extra map.
+// telemetry.ServeWith / telemetrycli's Extra map. The flight recorder's
+// /debug/verdicts rides along when enabled.
 func (s *Supervisor) Handlers() map[string]http.Handler {
-	return map[string]http.Handler{
+	m := map[string]http.Handler{
 		"/healthz": s.Healthz(),
 		"/readyz":  s.Readyz(),
 	}
+	if s.flight != nil {
+		m["/debug/verdicts"] = s.flight.handler()
+	}
+	return m
 }

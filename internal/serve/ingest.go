@@ -30,6 +30,17 @@ type ingestItem struct {
 	episode    int
 	sample     perspectron.RawSample
 	enqueuedAt time.Time
+	// dequeuedAt is stamped (once per batch) when the scorer drains the
+	// item, splitting end-to-end latency into queue wait vs scoring stages.
+	// Zero when tracing is disabled.
+	dequeuedAt time.Time
+}
+
+// trace renders the item's stream-scoped trace ID: worker/episode/sample,
+// unique per admitted sample and stable across the verdict log, the
+// slow-verdict exemplars and /debug/verdicts.
+func (it *ingestItem) trace() string {
+	return fmt.Sprintf("%s/%d/%d", it.w.name, it.episode, it.sample.Sample)
 }
 
 // shard is one scoring lane: a bounded ring buffer of pending samples, a
@@ -54,7 +65,8 @@ type shard struct {
 	scored   atomic.Int64 // dequeued and logged (including error verdicts)
 	shed     atomic.Int64
 	panics   atomic.Int64
-	down     atomic.Bool // breaker-open mirror the ring can read lock-free
+	down     atomic.Bool   // breaker-open mirror the ring can read lock-free
+	attrTick atomic.Uint64 // benign-sample attribution round-robin counter
 }
 
 func newShard(id, capacity int, load *ladder, brk *breaker) *shard {
@@ -204,6 +216,13 @@ func (s *Supervisor) logShed(sh *shard, it *ingestItem) {
 		Shed:    true,
 		Shard:   sh.id,
 	}
+	if !s.cfg.DisableTracing {
+		// A shed victim's whole life was queue wait; the trace still joins
+		// it to its stream.
+		rec.Trace = it.trace()
+		rec.QueueMs = float64(time.Since(it.enqueuedAt)) / float64(time.Millisecond)
+	}
+	s.slo.observe(0, true)
 	s.log.record(rec)
 	s.observe(rec)
 }
@@ -265,6 +284,15 @@ func (s *Supervisor) scoreShard(sh *shard) {
 		}
 		loadMode, _ := sh.load.snapshot()
 		batch = sh.dequeueBatch(s.cfg.Batch, batch[:0])
+		if !s.cfg.DisableTracing {
+			// One clock read covers the whole batch: every item left the
+			// queue at this instant, and per-item batch wait accrues from
+			// here until its scoring turn.
+			now := time.Now()
+			for _, it := range batch {
+				it.dequeuedAt = now
+			}
+		}
 		panicked := false
 		for _, it := range batch {
 			if !s.scoreItem(sh, &cache, it, loadMode) {
@@ -309,8 +337,22 @@ func (c *scorerCache) get(mdl *Models) (*perspectron.RawScorer, error) {
 // and the shard's load rung, classifier naming only on the top rung. It
 // reports false when scoring panicked; the item is still logged (mode
 // "error") so the verdict accounting stays exact.
+//
+// With tracing on (the default) the verdict record additionally carries its
+// trace ID and the queue/batch/score stage breakdown, the four
+// perspectron_serve_stage_seconds histograms are fed, and a verdict past
+// SlowSample emits an exemplar event into the telemetry trace stream. With
+// attribution on, flagged samples (and every AttrBenignEvery-th benign one)
+// get their fired slots and top-k weight×bit contributions stamped and are
+// pushed into the flight recorder. Both features cost nothing when disabled
+// (pinned by BenchmarkServeForensicsOverhead).
 func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, loadMode perspectron.ServeMode) (ok bool) {
 	ok = true
+	tracing := !s.cfg.DisableTracing
+	var scoreStart time.Time
+	if tracing {
+		scoreStart = time.Now()
+	}
 	mdl := s.models.Load() // pinned: the verdict is attributed to this version
 	detVer, _ := mdl.Versions()
 	rec := VerdictRecord{
@@ -328,14 +370,51 @@ func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, lo
 			rec.Mode = "error"
 			rec.Error = msg
 		}
-		rec.LatencyMs = float64(time.Since(it.enqueuedAt)) / float64(time.Millisecond)
+		reg := telemetry.Get()
+		var queueWait, batchWait, scoreDur time.Duration
+		var logStart time.Time
+		if tracing {
+			logStart = time.Now()
+			queueWait = it.dequeuedAt.Sub(it.enqueuedAt)
+			batchWait = scoreStart.Sub(it.dequeuedAt)
+			scoreDur = logStart.Sub(scoreStart)
+			rec.Trace = it.trace()
+			rec.QueueMs = float64(queueWait) / float64(time.Millisecond)
+			rec.BatchMs = float64(batchWait) / float64(time.Millisecond)
+			rec.ScoreMs = float64(scoreDur) / float64(time.Millisecond)
+		}
+		total := time.Since(it.enqueuedAt)
+		rec.LatencyMs = float64(total) / float64(time.Millisecond)
 		s.log.record(rec)
 		s.observe(rec)
+		if rec.Attr != nil {
+			s.flight.push(rec)
+		}
+		s.slo.observe(total, false)
 		sh.scored.Add(1)
-		reg := telemetry.Get()
 		reg.Histogram("perspectron_serve_verdict_latency_seconds", latencyBounds).
-			Observe(time.Since(it.enqueuedAt).Seconds())
+			Observe(total.Seconds())
 		reg.Counter(telemetry.Name("perspectron_serve_verdicts_total", "mode", rec.Mode)).Inc()
+		if tracing {
+			logDur := time.Since(logStart)
+			reg.Histogram(stageQueue, telemetry.LatencyBuckets).Observe(queueWait.Seconds())
+			reg.Histogram(stageBatch, telemetry.LatencyBuckets).Observe(batchWait.Seconds())
+			reg.Histogram(stageScore, telemetry.LatencyBuckets).Observe(scoreDur.Seconds())
+			reg.Histogram(stageLog, telemetry.LatencyBuckets).Observe(logDur.Seconds())
+			if s.cfg.SlowSample > 0 && total >= s.cfg.SlowSample {
+				reg.Counter("perspectron_serve_slow_verdicts_total").Inc()
+				reg.Event("serve.slow_verdict", map[string]any{
+					"trace":    rec.Trace,
+					"shard":    sh.id,
+					"mode":     rec.Mode,
+					"total_ms": rec.LatencyMs,
+					"queue_ms": rec.QueueMs,
+					"batch_ms": rec.BatchMs,
+					"score_ms": rec.ScoreMs,
+					"log_ms":   float64(logDur) / float64(time.Millisecond),
+				})
+			}
+		}
 	}()
 	if hook := s.scoreHook; hook != nil {
 		hook(it)
@@ -363,6 +442,21 @@ func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, lo
 	if flagged {
 		telemetry.Get().Counter(telemetry.Name("perspectron_serve_flagged_total", "worker", it.w.name)).Inc()
 	}
+	if k := s.cfg.AttributionK; k > 0 && mdl.Det != nil {
+		// Attribute flagged verdicts always, benign ones on the shard's
+		// round-robin tick. Classify scratches a separate bit vector, so the
+		// detector's fired set is still intact here.
+		attributed := flagged
+		if !attributed && s.cfg.AttrBenignEvery > 0 &&
+			sh.attrTick.Add(1)%uint64(s.cfg.AttrBenignEvery) == 0 {
+			attributed = true
+		}
+		if attributed {
+			if fired, attr, aerr := scorer.Attribution(k); aerr == nil {
+				rec.Fired, rec.Attr = fired, attr
+			}
+		}
+	}
 	rec.Mode = mode.String()
 	rec.Score = score
 	rec.Class = class
@@ -370,6 +464,15 @@ func (s *Supervisor) scoreItem(sh *shard, cache *scorerCache, it *ingestItem, lo
 	rec.Coverage = coverage
 	return ok
 }
+
+// Stage-latency series names, pre-rendered once — the per-verdict hot path
+// must not re-run the label formatter.
+var (
+	stageQueue = telemetry.Name("perspectron_serve_stage_seconds", "stage", "queue")
+	stageBatch = telemetry.Name("perspectron_serve_stage_seconds", "stage", "batch")
+	stageScore = telemetry.Name("perspectron_serve_stage_seconds", "stage", "score")
+	stageLog   = telemetry.Name("perspectron_serve_stage_seconds", "stage", "log")
+)
 
 // observe feeds the optional per-verdict test observer.
 func (s *Supervisor) observe(rec VerdictRecord) {

@@ -111,6 +111,36 @@ type Config struct {
 	// Faults optionally injects counter faults into every episode's
 	// machine — the degradation ladder's test harness.
 	Faults *perspectron.FaultConfig
+
+	// DisableTracing turns off per-sample trace IDs, stage timestamps and
+	// the stage-latency histograms — the zero-overhead escape hatch pinned
+	// by BenchmarkServeForensicsOverhead. Tracing is on by default.
+	DisableTracing bool
+	// AttributionK is how many top weight×bit contributions are stamped
+	// into attributed verdict records (default 5; negative disables
+	// attribution entirely).
+	AttributionK int
+	// AttrBenignEvery additionally attributes every Nth non-flagged verdict
+	// per shard, so the flight recorder shows what "normal" looks like too
+	// (0 disables benign sampling; flagged samples are always attributed
+	// while AttributionK is enabled).
+	AttrBenignEvery int
+	// FlightSize is the flight recorder's capacity — the last N attributed
+	// verdicts served at /debug/verdicts (default 256; negative disables).
+	FlightSize int
+	// SlowSample is the total-latency mark past which a verdict emits a
+	// slow-sample exemplar event into the telemetry trace stream (default
+	// 250ms; negative disables).
+	SlowSample time.Duration
+	// SLOLatencyTarget is the per-verdict latency objective driving the
+	// latency burn-rate gauge (default 50ms; negative disables SLO
+	// tracking). SLOLatencyBudget and SLOShedBudget are the tolerated
+	// fractions of slow verdicts and shed samples (default 0.01 each);
+	// SLOAlpha the burn EWMAs' smoothing factor (default 0.02).
+	SLOLatencyTarget time.Duration
+	SLOLatencyBudget float64
+	SLOShedBudget    float64
+	SLOAlpha         float64
 }
 
 // verdictLogWriter is the internal log type behind Config.VerdictLog.
@@ -185,6 +215,41 @@ func (c *Config) withDefaults() Config {
 	if out.Pace <= 0 {
 		out.Pace = time.Millisecond
 	}
+	// Forensics knobs share the zero-value convention: 0 picks the default,
+	// negative disables. Normalize the disabled forms here so the hot path
+	// only ever compares against 0.
+	if out.AttributionK == 0 {
+		out.AttributionK = 5
+	} else if out.AttributionK < 0 {
+		out.AttributionK = 0
+	}
+	if out.AttrBenignEvery < 0 {
+		out.AttrBenignEvery = 0
+	}
+	if out.FlightSize == 0 {
+		out.FlightSize = 256
+	} else if out.FlightSize < 0 {
+		out.FlightSize = 0
+	}
+	if out.SlowSample == 0 {
+		out.SlowSample = 250 * time.Millisecond
+	} else if out.SlowSample < 0 {
+		out.SlowSample = 0
+	}
+	if out.SLOLatencyTarget == 0 {
+		out.SLOLatencyTarget = 50 * time.Millisecond
+	} else if out.SLOLatencyTarget < 0 {
+		out.SLOLatencyTarget = 0
+	}
+	if out.SLOLatencyBudget <= 0 {
+		out.SLOLatencyBudget = 0.01
+	}
+	if out.SLOShedBudget <= 0 {
+		out.SLOShedBudget = 0.01
+	}
+	if out.SLOAlpha <= 0 || out.SLOAlpha > 1 {
+		out.SLOAlpha = 0.02
+	}
 	return out
 }
 
@@ -218,6 +283,12 @@ type Supervisor struct {
 	// produceDone closes once every stream worker has exited; scorers then
 	// finish draining their queues and stop. Created by Run.
 	produceDone chan struct{}
+
+	flight *flightRecorder // last N attributed verdicts (/debug/verdicts)
+	slo    *sloTracker     // burn-rate state surfaced on /healthz
+
+	started    time.Time
+	listenAddr atomic.Pointer[string] // bound metrics address, for /healthz self-discovery
 
 	ready      atomic.Bool
 	draining   atomic.Bool
@@ -256,7 +327,13 @@ func New(cfg Config) (*Supervisor, error) {
 	if det == nil {
 		return nil, fmt.Errorf("serve: a detector is required (DetectorPath or Detector)")
 	}
-	s := &Supervisor{cfg: cfg, log: cfg.VerdictLog}
+	s := &Supervisor{
+		cfg:     cfg,
+		log:     cfg.VerdictLog,
+		flight:  newFlightRecorder(cfg.FlightSize),
+		slo:     newSLOTracker(cfg),
+		started: time.Now(),
+	}
 	s.models.Store(&Models{Det: det, Cls: cls})
 	if cfg.PollInterval > 0 && (cfg.DetectorPath != "" || cfg.ClassifierPath != "") {
 		s.watch = newWatcher(cfg.DetectorPath, cfg.ClassifierPath, &s.models, cfg.PollInterval)

@@ -1,0 +1,112 @@
+package serve
+
+// SLO burn-rate tracking over the two signals an operator pages on: verdict
+// latency (enqueue→verdict beyond the target) and shed fraction (admission
+// control dropping samples). Each is smoothed as an EWMA of a per-verdict
+// bad-event indicator and divided by its error budget — burn > 1 means the
+// service is currently spending budget faster than the SLO allows, which
+// degrades /healthz and lights the perspectron_serve_slo_*_burn gauges, so
+// dashboards and the health surface agree on when the serving path is in
+// trouble rather than merely busy.
+
+import (
+	"sync"
+	"time"
+
+	"perspectron/internal/telemetry"
+)
+
+// sloTracker accumulates the burn state. The nil tracker (SLO disabled)
+// absorbs all operations, mirroring the telemetry instruments.
+type sloTracker struct {
+	latencyTarget time.Duration
+	latencyBudget float64 // tolerated slow-verdict fraction
+	shedBudget    float64 // tolerated shed fraction
+	alpha         float64 // EWMA smoothing per observation
+
+	mu       sync.Mutex
+	slowEwma float64 // smoothed fraction of verdicts past the target
+	shedEwma float64 // smoothed fraction of samples shed
+	n        int64
+}
+
+// newSLOTracker builds the tracker from an already-defaulted Config; a
+// non-positive latency target disables SLO tracking entirely.
+func newSLOTracker(cfg Config) *sloTracker {
+	if cfg.SLOLatencyTarget <= 0 {
+		return nil
+	}
+	return &sloTracker{
+		latencyTarget: cfg.SLOLatencyTarget,
+		latencyBudget: cfg.SLOLatencyBudget,
+		shedBudget:    cfg.SLOShedBudget,
+		alpha:         cfg.SLOAlpha,
+	}
+}
+
+// observe folds one sample outcome into the burn state: its enqueue→verdict
+// latency (ignored for sheds) and whether it was shed. Called once per
+// verdict record, off the packed scoring inner loop.
+func (t *sloTracker) observe(latency time.Duration, shed bool) {
+	if t == nil {
+		return
+	}
+	slow, shedV := 0.0, 0.0
+	if shed {
+		shedV = 1
+	} else if latency > t.latencyTarget {
+		slow = 1
+	}
+	t.mu.Lock()
+	t.slowEwma += t.alpha * (slow - t.slowEwma)
+	t.shedEwma += t.alpha * (shedV - t.shedEwma)
+	t.n++
+	latencyBurn := t.slowEwma / t.latencyBudget
+	shedBurn := t.shedEwma / t.shedBudget
+	t.mu.Unlock()
+	reg := telemetry.Get()
+	reg.Gauge("perspectron_serve_slo_latency_burn").Set(latencyBurn)
+	reg.Gauge("perspectron_serve_slo_shed_burn").Set(shedBurn)
+}
+
+// SLOHealth is the burn-rate block on /healthz.
+type SLOHealth struct {
+	// LatencyTargetMs is the per-verdict latency objective; LatencyBudget
+	// the tolerated fraction of verdicts past it.
+	LatencyTargetMs float64 `json:"latency_target_ms"`
+	LatencyBudget   float64 `json:"latency_budget"`
+	// SlowFraction is the smoothed fraction of verdicts past the target;
+	// LatencyBurn is SlowFraction/LatencyBudget (burn > 1 = breaching).
+	SlowFraction float64 `json:"slow_fraction"`
+	LatencyBurn  float64 `json:"latency_burn"`
+	// ShedBudget is the tolerated shed fraction; ShedFraction the smoothed
+	// observed one; ShedBurn their ratio.
+	ShedBudget   float64 `json:"shed_budget"`
+	ShedFraction float64 `json:"shed_fraction"`
+	ShedBurn     float64 `json:"shed_burn"`
+	// Samples is the number of observations folded in so far.
+	Samples int64 `json:"samples"`
+	// Breach reports either burn above 1 — this degrades /healthz.
+	Breach bool `json:"breach"`
+}
+
+// snapshot returns the current burn block, or nil when SLO tracking is off.
+func (t *sloTracker) snapshot() *SLOHealth {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := &SLOHealth{
+		LatencyTargetMs: float64(t.latencyTarget) / float64(time.Millisecond),
+		LatencyBudget:   t.latencyBudget,
+		SlowFraction:    t.slowEwma,
+		LatencyBurn:     t.slowEwma / t.latencyBudget,
+		ShedBudget:      t.shedBudget,
+		ShedFraction:    t.shedEwma,
+		ShedBurn:        t.shedEwma / t.shedBudget,
+		Samples:         t.n,
+	}
+	h.Breach = h.LatencyBurn > 1 || h.ShedBurn > 1
+	return h
+}

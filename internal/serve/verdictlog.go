@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"perspectron"
 )
 
 // VerdictRecord is one sample's outcome as it appears in the verdict log
@@ -35,6 +37,25 @@ type VerdictRecord struct {
 	LatencyMs float64 `json:"latency_ms,omitempty"`
 	// Error carries the scorer failure for mode "error" records.
 	Error string `json:"error,omitempty"`
+
+	// Trace is the sample's stream-scoped trace ID (worker/episode/sample),
+	// stamped when tracing is on — the join key between the verdict log, the
+	// slow-verdict exemplar events in -trace-out, and /debug/verdicts.
+	Trace string `json:"trace,omitempty"`
+	// QueueMs/BatchMs/ScoreMs break LatencyMs into stages: admission→dequeue
+	// (queue wait), dequeue→this item's scoring turn (batch wait), and the
+	// scoring work itself. The residue (LatencyMs − sum) is log overhead.
+	QueueMs float64 `json:"queue_ms,omitempty"`
+	BatchMs float64 `json:"batch_ms,omitempty"`
+	ScoreMs float64 `json:"score_ms,omitempty"`
+	// Fired is the ascending detector feature slots that fired on this
+	// sample — together with Version, everything `perspectron explain` needs
+	// to re-derive Score and Attr offline, bit-for-bit.
+	Fired []int `json:"fired,omitempty"`
+	// Attr holds the top-k weight×bit contributions (largest |weight|
+	// first), stamped for flagged samples and a configured fraction of
+	// benign ones.
+	Attr []perspectron.Contribution `json:"attr,omitempty"`
 }
 
 // verdictLog serializes verdict records from all workers onto one buffered

@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perspectron"
@@ -102,9 +104,12 @@ func (c *Config) withDefaults() Config {
 type Round struct {
 	// Round is the 1-based round number.
 	Round int
-	// VerdictsSeen / CorruptLines account for this round's verdict-log tail.
+	// VerdictsSeen / CorruptLines account for this round's verdict-log tail;
+	// Attributed counts the tailed records that carried a feature-attribution
+	// block (the serving layer stamps flagged verdicts, plus a benign sample).
 	VerdictsSeen int
 	CorruptLines int
+	Attributed   int
 	// FreshSamples / Epochs / Converged describe the incremental fit.
 	FreshSamples int
 	Epochs       int
@@ -120,7 +125,9 @@ type Round struct {
 // Trainer runs the shadow loop. Create with New; drive with Run (the loop)
 // or RunOnce (a single deterministic round, the form tests use).
 type Trainer struct {
-	cfg Config
+	cfg        Config
+	started    time.Time
+	listenAddr atomic.Pointer[string]
 
 	mu         sync.Mutex
 	golden     *perspectron.GoldenSet
@@ -131,6 +138,8 @@ type Trainer struct {
 	verdicts   int            // verdict records consumed
 	corrupt    int            // corrupt verdict lines skipped
 	byVersion  map[string]int // verdicts attributed per model version
+	attributed int            // verdicts that carried an attribution block
+	attrCounts map[string]int // attribution appearances per feature name
 	drift      float64        // EWMA
 	driftInit  bool
 	lastErr    string
@@ -151,7 +160,23 @@ func New(cfg Config) (*Trainer, error) {
 	if _, err := perspectron.LoadFile(cfg.DetectorPath); err != nil {
 		return nil, fmt.Errorf("shadow: initial detector checkpoint: %w", err)
 	}
-	return &Trainer{cfg: cfg, golden: cfg.Golden, byVersion: map[string]int{}}, nil
+	return &Trainer{
+		cfg:        cfg,
+		started:    time.Now(),
+		golden:     cfg.Golden,
+		byVersion:  map[string]int{},
+		attrCounts: map[string]int{},
+	}, nil
+}
+
+// SetListenAddr records the bound metrics/health address for the standalone
+// health surface's self-discovery, mirroring the serving supervisor's. Safe
+// to call concurrently with Health.
+func (t *Trainer) SetListenAddr(addr string) {
+	if addr == "" {
+		return
+	}
+	t.listenAddr.Store(&addr)
 }
 
 // Drift returns the smoothed drift EWMA and whether it is past the alarm
@@ -205,7 +230,11 @@ func (t *Trainer) RunOnce(ctx context.Context) (Round, error) {
 
 	// 1. Tail the verdict log: every complete record is attributed to the
 	// model version that produced it, so operators can see which generation
-	// each verdict came from even across hot-reloads mid-round.
+	// each verdict came from even across hot-reloads mid-round. Records the
+	// forensics layer stamped with per-feature attributions also feed the
+	// drift context: which features the live model is actually leaning on in
+	// production, set against the distribution drift measured from corpus
+	// firing rates.
 	if t.cfg.VerdictLog != "" {
 		recs, corrupt, next, err := serve.ReadVerdictLog(t.cfg.VerdictLog, offset)
 		if err != nil {
@@ -219,6 +248,13 @@ func (t *Trainer) RunOnce(ctx context.Context) (Round, error) {
 		for _, rec := range recs {
 			if rec.Version != "" {
 				t.byVersion[rec.Version]++
+			}
+			if len(rec.Attr) > 0 {
+				r.Attributed++
+				t.attributed++
+				for _, c := range rec.Attr {
+					t.attrCounts[c.Feature]++
+				}
 			}
 		}
 		t.mu.Unlock()
@@ -337,21 +373,38 @@ func (t *Trainer) observeDrift(raw float64) float64 {
 type Health struct {
 	// Status is "ok", or "degraded" when the drift alarm is up or the last
 	// round failed.
-	Status     string `json:"status"`
-	Rounds     int    `json:"rounds"`
-	Promotions int    `json:"promotions"`
-	Rejections int    `json:"rejections"`
+	Status string `json:"status"`
+	// MetricsAddr is the bound metrics/health listen address (set through
+	// SetListenAddr); UptimeSeconds counts from trainer construction.
+	MetricsAddr   string  `json:"metrics_addr,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Rounds        int     `json:"rounds"`
+	Promotions    int     `json:"promotions"`
+	Rejections    int     `json:"rejections"`
 	// Verdicts / CorruptLines account for the verdict-log tail so far;
 	// VerdictsByVersion attributes them to the model versions that produced
 	// them.
 	Verdicts          int            `json:"verdicts"`
 	CorruptLines      int            `json:"corrupt_lines,omitempty"`
 	VerdictsByVersion map[string]int `json:"verdicts_by_version,omitempty"`
-	Drift             float64        `json:"drift"`
-	DriftAlarm        bool           `json:"drift_alarm"`
-	LastError         string         `json:"last_error,omitempty"`
+	// AttributedVerdicts counts tailed records that carried a feature
+	// attribution; TopAttributed ranks the features those attributions name
+	// most often — the production-side context for reading Drift: when drift
+	// rises AND the serving model's decisions lean on features whose firing
+	// rates moved, retraining urgency is corroborated from both ends.
+	AttributedVerdicts int            `json:"attributed_verdicts,omitempty"`
+	TopAttributed      []FeatureCount `json:"top_attributed,omitempty"`
+	Drift              float64        `json:"drift"`
+	DriftAlarm         bool           `json:"drift_alarm"`
+	LastError          string         `json:"last_error,omitempty"`
 	// LastPromotion summarizes the most recent gate decision.
 	LastPromotion *perspectron.Promotion `json:"last_promotion,omitempty"`
+}
+
+// FeatureCount is one feature's row in the attribution ranking.
+type FeatureCount struct {
+	Feature string `json:"feature"`
+	Count   int    `json:"count"`
 }
 
 // Health snapshots the trainer.
@@ -359,21 +412,42 @@ func (t *Trainer) Health() Health {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	h := Health{
-		Status:       "ok",
-		Rounds:       t.rounds,
-		Promotions:   t.promotions,
-		Rejections:   t.rejections,
-		Verdicts:     t.verdicts,
-		CorruptLines: t.corrupt,
-		Drift:        t.drift,
-		DriftAlarm:   t.driftInit && t.drift > t.cfg.DriftThreshold,
-		LastError:    t.lastErr,
+		Status:             "ok",
+		UptimeSeconds:      time.Since(t.started).Seconds(),
+		Rounds:             t.rounds,
+		Promotions:         t.promotions,
+		Rejections:         t.rejections,
+		Verdicts:           t.verdicts,
+		CorruptLines:       t.corrupt,
+		AttributedVerdicts: t.attributed,
+		Drift:              t.drift,
+		DriftAlarm:         t.driftInit && t.drift > t.cfg.DriftThreshold,
+		LastError:          t.lastErr,
+	}
+	if addr := t.listenAddr.Load(); addr != nil {
+		h.MetricsAddr = *addr
 	}
 	if len(t.byVersion) > 0 {
 		h.VerdictsByVersion = make(map[string]int, len(t.byVersion))
 		for k, v := range t.byVersion {
 			h.VerdictsByVersion[k] = v
 		}
+	}
+	if len(t.attrCounts) > 0 {
+		ranked := make([]FeatureCount, 0, len(t.attrCounts))
+		for f, n := range t.attrCounts {
+			ranked = append(ranked, FeatureCount{Feature: f, Count: n})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Count != ranked[j].Count {
+				return ranked[i].Count > ranked[j].Count
+			}
+			return ranked[i].Feature < ranked[j].Feature
+		})
+		if len(ranked) > 8 {
+			ranked = ranked[:8]
+		}
+		h.TopAttributed = ranked
 	}
 	if t.lastRound != nil {
 		h.LastPromotion = t.lastRound.Promotion

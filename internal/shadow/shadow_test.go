@@ -83,7 +83,13 @@ func TestRunOnceRetrainsAndGates(t *testing.T) {
 	}
 	v := det.Version()
 	good := `{"worker":"w","episode":1,"sample":1,"mode":"detector","score":1,"version":"` + v + `"}` + "\n"
-	if err := os.WriteFile(logPath, []byte(good+"corrupt\n"+`{"partial`), 0o644); err != nil {
+	// A forensics-stamped record: fired set + top-k attribution, the shape the
+	// serving layer writes for flagged verdicts.
+	attributed := `{"worker":"w","episode":1,"sample":2,"mode":"detector","score":1,"flagged":true,` +
+		`"version":"` + v + `","fired":[0,3],"attr":[` +
+		`{"slot":3,"feature":"dcache.misses","weight":0.5,"share":0.6},` +
+		`{"slot":0,"feature":"btb.lookups","weight":-0.3,"share":-0.4}]}` + "\n"
+	if err := os.WriteFile(logPath, []byte(good+attributed+"corrupt\n"+`{"partial`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -98,7 +104,7 @@ func TestRunOnceRetrainsAndGates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Round != 1 || r1.VerdictsSeen != 1 || r1.CorruptLines != 1 {
+	if r1.Round != 1 || r1.VerdictsSeen != 2 || r1.CorruptLines != 1 || r1.Attributed != 1 {
 		t.Fatalf("round 1 tail: %+v", r1)
 	}
 	if r1.FreshSamples == 0 || r1.Epochs < 1 || r1.Epochs > 3 {
@@ -133,12 +139,25 @@ func TestRunOnceRetrainsAndGates(t *testing.T) {
 		t.Fatalf("round 2 re-read consumed verdicts: %+v", r2)
 	}
 
+	tr.SetListenAddr("127.0.0.1:9464")
 	h := tr.Health()
-	if h.Rounds != 2 || h.Verdicts != 1 || h.CorruptLines != 1 {
+	if h.Rounds != 2 || h.Verdicts != 2 || h.CorruptLines != 1 {
 		t.Fatalf("health accounting: %+v", h)
 	}
-	if h.VerdictsByVersion[v] != 1 {
+	if h.VerdictsByVersion[v] != 2 {
 		t.Fatalf("verdict attribution: %+v", h.VerdictsByVersion)
+	}
+	if h.AttributedVerdicts != 1 {
+		t.Fatalf("attributed verdicts = %d, want 1", h.AttributedVerdicts)
+	}
+	// Ties rank alphabetically, so the per-feature counts are deterministic.
+	if len(h.TopAttributed) != 2 ||
+		h.TopAttributed[0] != (FeatureCount{Feature: "btb.lookups", Count: 1}) ||
+		h.TopAttributed[1] != (FeatureCount{Feature: "dcache.misses", Count: 1}) {
+		t.Fatalf("top attributed features: %+v", h.TopAttributed)
+	}
+	if h.MetricsAddr != "127.0.0.1:9464" || h.UptimeSeconds <= 0 {
+		t.Fatalf("self-discovery fields: addr %q uptime %v", h.MetricsAddr, h.UptimeSeconds)
 	}
 	if h.Promotions+h.Rejections != 2 {
 		t.Fatalf("gate decisions = %d promoted + %d rejected, want 2 total", h.Promotions, h.Rejections)

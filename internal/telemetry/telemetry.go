@@ -256,8 +256,14 @@ var (
 	// ScoreBuckets spans the normalized perceptron output in [-1, 1].
 	ScoreBuckets = []float64{-1, -0.75, -0.5, -0.25, -0.1, 0, 0.1, 0.25, 0.5, 0.75, 1}
 	// LatencyBuckets spans per-sample scoring latencies in seconds
-	// (sub-microsecond datapath up to pathological stalls).
-	LatencyBuckets = []float64{1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+	// (sub-microsecond datapath up to pathological stalls). The layout grows
+	// only by appending: the first twelve bounds are frozen (pinned by
+	// TestLatencyBucketsPrefixFrozen) so dashboards keyed on the historical
+	// `le` labels keep working, and the appended tail covers queue-wait
+	// under sustained overload, where a sample can sit for whole seconds
+	// before its shard scorer reaches it.
+	LatencyBuckets = []float64{1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1,
+		2.5, 5, 10, 30, 60}
 	// DurationBuckets spans phase wall times in seconds (1 ms to 10 min).
 	DurationBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600}
 	// RatioBuckets spans [0, 1] quantities: error rates, coverage fractions.

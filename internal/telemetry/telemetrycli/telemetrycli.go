@@ -23,6 +23,12 @@ type Options struct {
 	TraceOut string
 	Hold     time.Duration
 
+	// Bound is the address the metrics server actually bound, set by Start —
+	// the resolved form of Addr when ":0" asked the kernel to pick a port.
+	// Commands feed it back into their health surface (SetListenAddr) so
+	// /healthz self-reports where it is scraped from.
+	Bound string
+
 	// Extra routes are mounted on the metrics server next to /metrics —
 	// set programmatically (not a flag) before Start; the serve subcommand
 	// adds /healthz and /readyz here.
@@ -74,6 +80,7 @@ func (o *Options) Start() (stop func(), err error) {
 			}
 			return nil, fmt.Errorf("telemetry: serving -metrics-addr: %w", err)
 		}
+		o.Bound = addr
 		fmt.Fprintf(os.Stderr, "telemetry: serving metrics on http://%s/metrics\n", addr)
 		closers = append(closers, func() {
 			if o.Hold > 0 {

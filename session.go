@@ -83,6 +83,11 @@ type Session struct {
 
 	interval uint64
 	nf       int // primary model's feature width, for Coverage
+
+	// lastRaw/lastPoint hold the most recent Next sample so Attribution can
+	// explain the verdict after the fact without re-running the interval.
+	lastRaw   []float64
+	lastPoint int
 }
 
 // NewSession starts a streaming session for cfg.Workload. Either model may
@@ -144,6 +149,7 @@ func (s *Session) Next(ctx context.Context) (*Verdict, bool) {
 	if !ok {
 		return nil, false
 	}
+	s.lastRaw, s.lastPoint = smp.Raw, smp.Index
 	v := &Verdict{
 		Sample: smp.Index,
 		Insts:  uint64(smp.Index+1) * s.interval,
