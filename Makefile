@@ -10,7 +10,7 @@ BENCH ?= .
 BENCH_HISTORY ?=
 BENCH_APPEND = $(if $(BENCH_HISTORY),-append $(BENCH_HISTORY),)
 
-.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow smoke-explain
+.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow smoke-explain smoke-crash
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -78,3 +78,11 @@ smoke-shadow:
 # non-zero exit (see scripts/explain_smoke.sh and docs/OBSERVABILITY.md).
 smoke-explain:
 	bash scripts/explain_smoke.sh
+
+# smoke-crash is the crash-safety gate: SIGKILL a real serve child mid-load in
+# a loop and assert recovery every time — torn log tails repaired, the durable
+# ledger balances (enqueued == records + lost) across incarnations, and
+# `perspectron explain` reproduces post-recovery verdicts bit-for-bit (see
+# scripts/crash_smoke.sh and docs/FAULTS.md).
+smoke-crash:
+	bash scripts/crash_smoke.sh

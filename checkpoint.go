@@ -13,10 +13,11 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
+	"perspectron/internal/diskfaults"
 	"perspectron/internal/encoding"
 	"perspectron/internal/perceptron"
 	"perspectron/internal/telemetry"
@@ -199,31 +200,17 @@ func version(checksum string) string {
 }
 
 // writeFileAtomic writes the serialization produced by save to path via a
-// temp file + fsync + rename in path's directory, so readers (including the
-// serve watcher polling the file) only ever observe a complete checkpoint.
-func writeFileAtomic(path string, save func(w *os.File) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	err = save(tmp)
-	if serr := tmp.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+// temp file + fsync + rename + parent-directory fsync, so readers (including
+// the serve watcher polling the file) only ever observe a complete checkpoint
+// and the rename itself survives power loss. The write path routes through
+// the process-wide disk-fault injector (site "checkpoint") when one is armed.
+func writeFileAtomic(path string, save func(w io.Writer) error) error {
+	return diskfaults.WriteFileAtomic(diskfaults.SiteCheckpoint, path, save)
 }
 
 // SaveFile writes the detector checkpoint to path atomically.
 func (d *Detector) SaveFile(path string) error {
-	return writeFileAtomic(path, func(w *os.File) error { return d.Save(w) })
+	return writeFileAtomic(path, func(w io.Writer) error { return d.Save(w) })
 }
 
 // LoadFile reads and verifies a detector checkpoint written by SaveFile (or
@@ -239,7 +226,7 @@ func LoadFile(path string) (*Detector, error) {
 
 // SaveFile writes the classifier checkpoint to path atomically.
 func (c *Classifier) SaveFile(path string) error {
-	return writeFileAtomic(path, func(w *os.File) error { return c.Save(w) })
+	return writeFileAtomic(path, func(w io.Writer) error { return c.Save(w) })
 }
 
 // LoadClassifierFile reads and verifies a classifier checkpoint written by

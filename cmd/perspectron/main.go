@@ -18,6 +18,8 @@
 //	                   [-slow-sample D] [-slo-latency D]
 //	                   [-slo-latency-budget F] [-slo-shed-budget F]
 //	                   [-dropout F] [-stuck0 F] [-stuckmax F] [-faultseed N]
+//	                   [-state FILE] [-log-flush D] [-no-last-good]
+//	                   [-disk-faults SPEC] [-disk-fault-seed N]
 //	perspectron explain -verdicts FILE [-in detector.json]
 //	                   [-trace ID | -index N] [-force] [-json]
 //	perspectron list
@@ -60,10 +62,25 @@ import (
 
 	"perspectron"
 	"perspectron/internal/corpus"
+	"perspectron/internal/diskfaults"
 	"perspectron/internal/serve"
 	"perspectron/internal/shadow"
 	"perspectron/internal/telemetry/telemetrycli"
 )
+
+// armDiskFaults installs the process-wide disk-fault injector from a
+// -disk-faults rule spec (no-op when the spec is empty). The injected write
+// paths are the durability sites: checkpoint saves, the verdict log, the
+// corpus disk cache, and the serve/shadow state files.
+func armDiskFaults(spec string, seed int64) {
+	if spec == "" {
+		return
+	}
+	if err := diskfaults.ArmSpec(diskfaults.Enable(seed), spec); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "disk faults armed: %s (seed %d)\n", spec, seed)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -471,8 +488,15 @@ func cmdServe(args []string) {
 	shadowBudget := fs.Int("shadow-budget", 0, "incremental epochs per shadow round (0 = 50)")
 	shadowInsts := fs.Uint64("shadow-insts", 120_000, "committed instructions per shadow fresh-corpus run")
 	driftThr := fs.Float64("drift-threshold", 0.25, "smoothed drift level that raises the /healthz drift alarm")
+	statePath := fs.String("state", "", "durable accounting state file for file-based -verdicts (default <verdicts>.state)")
+	logFlush := fs.Duration("log-flush", 0, "verdict-log flush + state-persist cadence in file mode (0 = 500ms, negative disables the loop)")
+	noLastGood := fs.Bool("no-last-good", false, "do not bank verified checkpoints as .last-good fallback copies")
+	faultSpec := fs.String("disk-faults", "", "inject disk faults: comma-separated site:op:kind[:after=N][:count=N][:rate=F] rules (sites checkpoint|verdictlog|corpus|servestate|shadowstate|*; ops create|write|sync|rename; kinds torn|enospc|eio|syncfail|crash)")
+	faultDiskSeed := fs.Int64("disk-fault-seed", 1, "seed for probabilistic (rate=) disk-fault rules")
 	tel := telemetrycli.Register(fs)
 	fs.Parse(args)
+
+	armDiskFaults(*faultSpec, *faultDiskSeed)
 
 	workloads, err := resolveWorkloads(*spec, *channel)
 	if err != nil {
@@ -516,17 +540,21 @@ func cmdServe(args []string) {
 	case "-":
 		cfg.VerdictLog = serve.NewVerdictLog(os.Stdout)
 	default:
-		f, err := os.OpenFile(*verdicts, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		cfg.VerdictLog = serve.NewVerdictLog(f)
+		// File-based verdicts run in crash-safe mode: the supervisor owns
+		// the file, repairs any torn tail from a previous crash, reconciles
+		// the durable accounting ledger, and flushes on a cadence.
+		cfg.VerdictLogPath = *verdicts
+		cfg.StatePath = *statePath
+		cfg.LogFlushInterval = *logFlush
+		cfg.DisableLastGood = *noLastGood
 	}
 
 	sup, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if rep := sup.Report(); rep != nil {
+		fmt.Fprintln(os.Stderr, "serve: "+rep.String())
 	}
 	// Health endpoints ride on the metrics server; register before Start.
 	tel.Extra = sup.Handlers()
@@ -605,6 +633,9 @@ func cmdShadow(args []string) {
 	fs := flag.NewFlagSet("shadow", flag.ExitOnError)
 	in := fs.String("in", "detector.json", "live detector checkpoint to retrain and promote")
 	verdicts := fs.String("verdicts", "", "serving verdict log (JSONL file) to tail; empty disables")
+	statePath := fs.String("state", "", "tail-offset state file, persisted atomically per round (default <verdicts>.offset)")
+	faultSpec := fs.String("disk-faults", "", "inject disk faults (see `perspectron serve -h` for the rule grammar)")
+	faultDiskSeed := fs.Int64("disk-fault-seed", 1, "seed for probabilistic (rate=) disk-fault rules")
 	spec := fs.String("workloads", "all", "fresh-corpus source: all|attacks|benign or comma-separated names")
 	channel := fs.String("channel", "fr", "disclosure channel for attack workloads")
 	interval := fs.Duration("interval", 30*time.Second, "round cadence")
@@ -631,9 +662,11 @@ func cmdShadow(args []string) {
 	opts.MaxInsts = *insts
 	opts.Runs = *runs
 	opts.Seed = *seed
+	armDiskFaults(*faultSpec, *faultDiskSeed)
 	trainer, err := shadow.New(shadow.Config{
 		DetectorPath:   *in,
 		VerdictLog:     *verdicts,
+		StatePath:      *statePath,
 		Workloads:      workloads,
 		Opts:           opts,
 		Budget:         *budget,

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"perspectron/internal/diskfaults"
 	"perspectron/internal/trace"
 )
 
@@ -129,27 +130,33 @@ func (s *Store) load(ctx context.Context, dir, key string) (ds *trace.Dataset, b
 	return a.Dataset, bytesRead
 }
 
-// save writes the dataset atomically (temp file + rename) so a crashed or
-// concurrent writer never leaves a torn artifact behind, returning the
-// compressed bytes persisted. Failures — including a ctx cancelled mid-write
-// — are silent (returning 0) and leave no temp file: the disk cache is an
-// accelerator, not a source of truth.
+// save writes the dataset atomically (temp file + fsync + rename + directory
+// fsync, matching the checkpoint path's durability discipline) so a crashed
+// or concurrent writer never leaves a torn artifact behind — and a completed
+// one survives power loss — returning the compressed bytes persisted.
+// Failures — including a ctx cancelled mid-write or an injected disk fault
+// (site "corpus") — are silent (returning 0) and leave no temp file: the
+// disk cache is an accelerator, not a source of truth.
 func (s *Store) save(ctx context.Context, dir, key string, ds *trace.Dataset) (bytesWritten int64) {
 	if ctx.Err() != nil {
 		return 0
 	}
-	tmp, err := os.CreateTemp(dir, key+".tmp-*")
+	rawTmp, err := os.CreateTemp(dir, key+".tmp-*")
 	if err != nil {
 		return 0
 	}
+	tmp := diskfaults.WrapFile(diskfaults.SiteCorpus, rawTmp)
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	zw := gzip.NewWriter(ctxWriter{ctx, tmp})
 	err = gob.NewEncoder(zw).Encode(artifact{Format: diskFormat, Key: key, Dataset: ds})
 	if cerr := zw.Close(); err == nil {
 		err = cerr
 	}
+	if serr := tmp.Sync(); err == nil {
+		err = serr
+	}
 	var size int64
-	if st, serr := tmp.Stat(); serr == nil {
+	if st, serr := rawTmp.Stat(); serr == nil {
 		size = st.Size()
 	}
 	if cerr := tmp.Close(); err == nil {
@@ -158,7 +165,10 @@ func (s *Store) save(ctx context.Context, dir, key string, ds *trace.Dataset) (b
 	if err != nil || ctx.Err() != nil {
 		return 0
 	}
-	if os.Rename(tmp.Name(), s.path(dir, key)) != nil {
+	if diskfaults.Rename(diskfaults.SiteCorpus, tmp.Name(), s.path(dir, key)) != nil {
+		return 0
+	}
+	if diskfaults.SyncDir(diskfaults.SiteCorpus, dir) != nil {
 		return 0
 	}
 	return size

@@ -66,6 +66,11 @@ type Health struct {
 	// it past the configured threshold and degrades the service status.
 	ShadowDrift float64 `json:"shadow_drift,omitempty"`
 	DriftAlarm  bool    `json:"drift_alarm,omitempty"`
+	// Durable is the crash-safe file mode's accounting block (nil when
+	// serving without VerdictLogPath): the cumulative ledger, the log's disk
+	// state — a sticky disk_error or active lossy mode degrades Status —
+	// and what the last startup recovery found.
+	Durable *DurableHealth `json:"durable,omitempty"`
 	// SLO is the burn-rate block (nil when SLO tracking is disabled); a
 	// breach degrades Status.
 	SLO     *SLOHealth     `json:"slo,omitempty"`
@@ -124,9 +129,11 @@ func (s *Supervisor) Health() Health {
 	if p := s.driftProbe.Load(); p != nil {
 		h.ShadowDrift, h.DriftAlarm = (*p)()
 	}
+	h.Durable = s.durableSnapshot()
 	h.SLO = s.slo.snapshot()
 	degraded := h.ReloadError != "" || h.LogError != "" || h.DriftAlarm ||
-		(h.SLO != nil && h.SLO.Breach)
+		(h.SLO != nil && h.SLO.Breach) ||
+		(h.Durable != nil && (h.Durable.Lossy || h.Durable.DiskError != ""))
 	topMode := "detector"
 	if s.models.Load().Cls != nil {
 		topMode = "classifier"

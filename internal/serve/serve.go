@@ -106,7 +106,22 @@ type Config struct {
 	PollInterval time.Duration
 
 	// VerdictLog receives one JSON line per scored sample (nil = none).
+	// Mutually exclusive with VerdictLogPath.
 	VerdictLog *verdictLogWriter
+
+	// VerdictLogPath switches the verdict log to crash-safe file mode: the
+	// supervisor owns the file, runs startup recovery (torn-tail repair,
+	// checkpoint fallback, ledger reconciliation — see recovery.go) before
+	// producing, flushes on a cadence, and persists the durable accounting
+	// ledger at StatePath (default VerdictLogPath+".state").
+	VerdictLogPath string
+	StatePath      string
+	// LogFlushInterval is the periodic flush+persist cadence in file mode
+	// (default 500ms; negative disables the loop — drain still flushes).
+	LogFlushInterval time.Duration
+	// DisableLastGood turns off the .last-good checkpoint copies written
+	// after every verified load (tests that stage deliberate corruption).
+	DisableLastGood bool
 
 	// Faults optionally injects counter faults into every episode's
 	// machine — the degradation ladder's test harness.
@@ -185,6 +200,12 @@ func (c *Config) withDefaults() Config {
 	if out.PollInterval == 0 {
 		out.PollInterval = 500 * time.Millisecond
 	}
+	if out.LogFlushInterval == 0 {
+		out.LogFlushInterval = 500 * time.Millisecond
+	} else if out.LogFlushInterval < 0 {
+		out.LogFlushInterval = 0
+	}
+	out.derivePaths()
 	if out.Shards <= 0 {
 		out.Shards = runtime.GOMAXPROCS(0)
 		if out.Shards > 8 {
@@ -287,6 +308,11 @@ type Supervisor struct {
 	flight *flightRecorder // last N attributed verdicts (/debug/verdicts)
 	slo    *sloTracker     // burn-rate state surfaced on /healthz
 
+	// report and base are the crash-safe file mode's recovery outcome and
+	// cumulative ledger baseline (nil report = durability off).
+	report *RecoveryReport
+	base   ServeState
+
 	started    time.Time
 	listenAddr atomic.Pointer[string] // bound metrics address, for /healthz self-discovery
 
@@ -311,32 +337,68 @@ func New(cfg Config) (*Supervisor, error) {
 	if len(cfg.Workloads) == 0 {
 		return nil, fmt.Errorf("serve: no workloads to monitor")
 	}
+	if cfg.VerdictLogPath != "" && cfg.VerdictLog != nil {
+		return nil, fmt.Errorf("serve: VerdictLog and VerdictLogPath are mutually exclusive")
+	}
+	var report *RecoveryReport
+	if cfg.VerdictLogPath != "" {
+		var err error
+		if report, err = runRecovery(cfg); err != nil {
+			return nil, err
+		}
+	}
 	det, cls := cfg.Detector, cfg.Classifier
+	loadedDet, loadedCls := false, false
 	if det == nil && cfg.DetectorPath != "" {
 		var err error
 		if det, err = perspectron.LoadFile(cfg.DetectorPath); err != nil {
 			return nil, fmt.Errorf("serve: initial detector checkpoint: %w", err)
 		}
+		loadedDet = true
 	}
 	if cls == nil && cfg.ClassifierPath != "" {
 		var err error
 		if cls, err = perspectron.LoadClassifierFile(cfg.ClassifierPath); err != nil {
 			return nil, fmt.Errorf("serve: initial classifier checkpoint: %w", err)
 		}
+		loadedCls = true
 	}
 	if det == nil {
 		return nil, fmt.Errorf("serve: a detector is required (DetectorPath or Detector)")
 	}
+	vlog := cfg.VerdictLog
+	if cfg.VerdictLogPath != "" {
+		var err error
+		if vlog, err = openVerdictLog(cfg.VerdictLogPath); err != nil {
+			return nil, fmt.Errorf("serve: opening verdict log: %w", err)
+		}
+	}
+	// The checkpoints we just proved loadable from disk get banked as the
+	// last-good fallback chain recovery restores from after corruption.
+	// Injected models (tests, embedding) prove nothing about the files.
+	if !cfg.DisableLastGood {
+		if loadedDet {
+			saveLastGood(cfg.DetectorPath)
+		}
+		if loadedCls {
+			saveLastGood(cfg.ClassifierPath)
+		}
+	}
 	s := &Supervisor{
 		cfg:     cfg,
-		log:     cfg.VerdictLog,
+		log:     vlog,
 		flight:  newFlightRecorder(cfg.FlightSize),
 		slo:     newSLOTracker(cfg),
+		report:  report,
 		started: time.Now(),
+	}
+	if report != nil {
+		s.base = report.State
 	}
 	s.models.Store(&Models{Det: det, Cls: cls})
 	if cfg.PollInterval > 0 && (cfg.DetectorPath != "" || cfg.ClassifierPath != "") {
 		s.watch = newWatcher(cfg.DetectorPath, cfg.ClassifierPath, &s.models, cfg.PollInterval)
+		s.watch.saveGood = !cfg.DisableLastGood
 	}
 	for i, w := range cfg.Workloads {
 		s.workers = append(s.workers, &worker{
@@ -389,6 +451,31 @@ func (s *Supervisor) Run(ctx context.Context) error {
 			s.watch.run(runCtx)
 		}()
 	}
+	// File-mode durability loop: flush the verdict log and persist the
+	// accounting ledger on a cadence, so a kill -9 loses at most one
+	// interval's verdicts — and those are reconciled as lost_on_crash at the
+	// next startup, never silently.
+	var flushWg sync.WaitGroup
+	if s.cfg.VerdictLogPath != "" && s.cfg.LogFlushInterval > 0 {
+		flushWg.Add(1)
+		go func() {
+			defer flushWg.Done()
+			t := time.NewTicker(s.cfg.LogFlushInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					// A flush error flips the log to counted-lossy mode and
+					// shows on /healthz; the loop keeps ticking — each tick
+					// is also the retry opportunity.
+					s.log.flush()
+					s.persistState()
+				}
+			}
+		}()
+	}
 	s.produceDone = make(chan struct{})
 	var scorerWg sync.WaitGroup
 	for _, sh := range s.shards {
@@ -421,10 +508,16 @@ func (s *Supervisor) Run(ctx context.Context) error {
 	s.draining.Store(true)
 	close(s.produceDone) // scorers drain their queues and exit
 	scorerWg.Wait()
-	cancel() // release the watcher
+	cancel() // release the watcher and the flush loop
 	watchWg.Wait()
-	if err := s.log.flush(); err != nil {
-		return fmt.Errorf("serve: flushing verdict log: %w", err)
+	flushWg.Wait()
+	flushErr := s.log.flush()
+	s.persistState() // final ledger: a clean drain balances exactly
+	if cerr := s.log.close(); cerr != nil && flushErr == nil {
+		flushErr = cerr
+	}
+	if flushErr != nil {
+		return fmt.Errorf("serve: flushing verdict log: %w", flushErr)
 	}
 	return ctx.Err()
 }

@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"perspectron"
+	"perspectron/internal/diskfaults"
 	"perspectron/internal/serve"
 	"perspectron/internal/telemetry"
 )
@@ -46,6 +48,11 @@ type Config struct {
 	// VerdictLog is the serving runtime's JSONL verdict log to tail
 	// (optional; empty disables verdict consumption).
 	VerdictLog string
+	// StatePath is where the verdict-log tail offset is persisted atomically
+	// after each round, so a restarted trainer resumes where it stopped
+	// instead of re-tailing (and re-attributing) the whole log from zero
+	// (default VerdictLog+".offset"; only used when VerdictLog is set).
+	StatePath string
 
 	// Workloads is the fresh-corpus source each round draws from. Required.
 	Workloads []perspectron.Workload
@@ -78,6 +85,9 @@ func (c *Config) withDefaults() Config {
 	out := *c
 	if out.CandidatePath == "" {
 		out.CandidatePath = out.DetectorPath + ".candidate"
+	}
+	if out.StatePath == "" && out.VerdictLog != "" {
+		out.StatePath = out.VerdictLog + ".offset"
 	}
 	if out.Budget <= 0 {
 		out.Budget = perspectron.DefaultIncrementEpochs
@@ -160,13 +170,52 @@ func New(cfg Config) (*Trainer, error) {
 	if _, err := perspectron.LoadFile(cfg.DetectorPath); err != nil {
 		return nil, fmt.Errorf("shadow: initial detector checkpoint: %w", err)
 	}
-	return &Trainer{
+	t := &Trainer{
 		cfg:        cfg,
 		started:    time.Now(),
 		golden:     cfg.Golden,
 		byVersion:  map[string]int{},
 		attrCounts: map[string]int{},
-	}, nil
+	}
+	if cfg.VerdictLog != "" {
+		t.offset = loadOffset(cfg.StatePath, cfg.VerdictLog)
+	}
+	return t, nil
+}
+
+// offsetState is the trainer's durable tail position, persisted atomically
+// so a restart resumes the tail instead of re-attributing the whole log.
+type offsetState struct {
+	Offset int64 `json:"offset"`
+}
+
+// loadOffset restores the persisted tail offset. Anything wrong — missing
+// or corrupt state, a negative value, or an offset past the current log's
+// end (the log was rotated or replaced since the save) — restarts the tail
+// from zero; the verdict scanner's corrupt-line tolerance makes a re-read
+// safe, just redundant. Offsets only ever land on complete-line boundaries,
+// so a crash-repair truncation of a torn tail never invalidates one.
+func loadOffset(statePath, logPath string) int64 {
+	b, err := os.ReadFile(statePath)
+	if err != nil {
+		return 0
+	}
+	var st offsetState
+	if json.Unmarshal(b, &st) != nil || st.Offset < 0 {
+		return 0
+	}
+	if fi, err := os.Stat(logPath); err == nil && st.Offset > fi.Size() {
+		telemetry.Get().Counter("perspectron_shadow_offset_resets_total").Inc()
+		return 0
+	}
+	return st.Offset
+}
+
+// saveOffset persists the tail offset atomically (site "shadowstate").
+func saveOffset(statePath string, off int64) error {
+	return diskfaults.WriteFileAtomic(diskfaults.SiteShadowState, statePath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(offsetState{Offset: off})
+	})
 }
 
 // SetListenAddr records the bound metrics/health address for the standalone
@@ -258,6 +307,16 @@ func (t *Trainer) RunOnce(ctx context.Context) (Round, error) {
 			}
 		}
 		t.mu.Unlock()
+		// Persist the advanced offset before doing anything slow: training
+		// can take a while, and a crash mid-round must not rewind the tail
+		// past verdicts already attributed. Failure is counted, not fatal —
+		// the offset file is durability insurance, the worst case without it
+		// is a redundant re-tail.
+		if t.cfg.StatePath != "" && next != offset {
+			if err := saveOffset(t.cfg.StatePath, next); err != nil {
+				reg.Counter("perspectron_shadow_offset_save_errors_total").Inc()
+			}
+		}
 	}
 
 	// 2. Resume from the live checkpoint — whatever the gate last promoted,
@@ -387,6 +446,9 @@ type Health struct {
 	Verdicts          int            `json:"verdicts"`
 	CorruptLines      int            `json:"corrupt_lines,omitempty"`
 	VerdictsByVersion map[string]int `json:"verdicts_by_version,omitempty"`
+	// TailOffset is the verdict-log byte position the next round resumes
+	// from — the durable value persisted at StatePath.
+	TailOffset int64 `json:"tail_offset,omitempty"`
 	// AttributedVerdicts counts tailed records that carried a feature
 	// attribution; TopAttributed ranks the features those attributions name
 	// most often — the production-side context for reading Drift: when drift
@@ -419,6 +481,7 @@ func (t *Trainer) Health() Health {
 		Rejections:         t.rejections,
 		Verdicts:           t.verdicts,
 		CorruptLines:       t.corrupt,
+		TailOffset:         t.offset,
 		AttributedVerdicts: t.attributed,
 		Drift:              t.drift,
 		DriftAlarm:         t.driftInit && t.drift > t.cfg.DriftThreshold,

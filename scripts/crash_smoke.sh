@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — crash chaos harness for crash-safe serving (see
+# docs/FAULTS.md): builds a race-instrumented binary, trains a seed detector,
+# then runs TestCrashRecoveryCycles, which SIGKILLs a real `perspectron serve`
+# child mid-load in a loop and asserts the recovery invariants — zero torn
+# records after repair, the durable ledger balances (enqueued == records +
+# lost) across every incarnation, session stamps strictly increase, and
+# `perspectron explain` reproduces post-recovery verdicts bit-for-bit.
+#
+# Env: CACHEDIR (corpus cache dir, default .corpus-cache),
+#      CRASH_CYCLES (kill cycles, default 20).
+set -euo pipefail
+
+CACHEDIR="${CACHEDIR:-.corpus-cache}"
+CRASH_CYCLES="${CRASH_CYCLES:-20}"
+BIN=/tmp/perspectron-crash
+DET=/tmp/crash-smoke-det.json
+rm -f "$DET" "$DET.last-good" "$DET.last-good.2"
+
+echo "== build (race) =="
+go build -race -o "$BIN" ./cmd/perspectron
+
+echo "== train a seed detector =="
+"$BIN" train -insts 50000 -runs 1 -cachedir "$CACHEDIR" -out "$DET"
+
+echo "== crash chaos loop ($CRASH_CYCLES kill -9 cycles + clean drain) =="
+PERSPECTRON_CRASH_BIN="$BIN" \
+PERSPECTRON_CRASH_DET="$DET" \
+PERSPECTRON_CRASH_CYCLES="$CRASH_CYCLES" \
+  go test -race -run TestCrashRecoveryCycles ./internal/serve/ -v -count=1 -timeout 10m
+
+echo "crash_smoke: OK"

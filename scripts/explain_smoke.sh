@@ -14,7 +14,7 @@ BIN=/tmp/perspectron-explain
 DET=/tmp/explain-smoke-det.json
 VERDICTS=/tmp/explain-smoke-verdicts.jsonl
 LOG=/tmp/explain-smoke.log
-rm -f "$DET" "$VERDICTS" "$LOG"
+rm -f "$DET" "$DET.last-good" "$DET.last-good.2" "$VERDICTS" "$VERDICTS.state" "$VERDICTS.torn" "$VERDICTS.offset" "$LOG"
 
 fail() { echo "explain_smoke: FAIL: $1" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
 
@@ -37,6 +37,8 @@ import json, sys
 total = flagged = attributed = 0
 for line in open(sys.argv[1]):
     rec = json.loads(line)
+    if rec.get("mode") == "recovery":
+        continue  # startup accounting stamp, not a sample verdict
     total += 1
     if rec.get("shed"):
         assert rec.get("trace"), rec

@@ -29,7 +29,7 @@ BIN=/tmp/perspectron-chaos
 DET=/tmp/serve-chaos-det.json
 VERDICTS=/tmp/serve-chaos-verdicts.jsonl
 LOG=/tmp/serve-chaos.log
-rm -f "$VERDICTS" "$LOG"
+rm -f "$VERDICTS" "$VERDICTS.state" "$VERDICTS.torn" "$VERDICTS.offset" "$LOG"
 
 fail() { echo "serve_chaos: FAIL: $1" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
 

@@ -20,7 +20,7 @@ BIN=/tmp/perspectron-race
 DET=/tmp/serve-smoke-det.json
 VERDICTS=/tmp/serve-smoke-verdicts.jsonl
 LOG=/tmp/serve-smoke.log
-rm -f "$VERDICTS" "$LOG"
+rm -f "$VERDICTS" "$VERDICTS.state" "$VERDICTS.torn" "$VERDICTS.offset" "$LOG"
 
 fail() { echo "serve_smoke: FAIL: $1" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
 

@@ -24,7 +24,7 @@ DET=/tmp/shadow-smoke-det.json
 VERDICTS=/tmp/shadow-smoke-verdicts.jsonl
 LOG=/tmp/shadow-smoke.log
 SHADOWLOG=/tmp/shadow-smoke-standalone.log
-rm -f "$DET" "$DET.candidate" "$DET.rejected" "$VERDICTS" "$LOG" "$SHADOWLOG"
+rm -f "$DET" "$DET.candidate" "$DET.rejected" "$DET.last-good" "$DET.last-good.2" "$VERDICTS" "$VERDICTS.state" "$VERDICTS.torn" "$VERDICTS.offset" "$LOG" "$SHADOWLOG"
 
 fail() { echo "shadow_smoke: FAIL: $1" >&2; for f in "$LOG" "$SHADOWLOG"; do [ -f "$f" ] && tail -20 "$f" >&2; done; exit 1; }
 
