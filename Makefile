@@ -4,13 +4,18 @@ GO ?= go
 BENCHTIME ?= 1x
 # BENCH filters which benchmarks run (a go test -bench regexp).
 BENCH ?= .
+# HOTPATH_BENCHTIME governs the hot-path kernel benchmarks only: 5x yields
+# five samples per arm, the minimum benchjson accepts for BENCH_hotpath.json
+# (single-iteration numbers are noise and the bench-select guard compares
+# the two Select arms from this artifact).
+HOTPATH_BENCHTIME ?= 5x
 # BENCH_HISTORY, when non-empty, makes each bench artifact also append a
 # timestamped JSONL line to this trajectory file (scripts/bench_append.sh
 # sets it), so perf history accumulates instead of being overwritten.
 BENCH_HISTORY ?=
 BENCH_APPEND = $(if $(BENCH_HISTORY),-append $(BENCH_HISTORY),)
 
-.PHONY: ci vet build test race bench bench-history smoke-serve smoke-chaos smoke-shadow smoke-explain smoke-crash
+.PHONY: ci vet build test race bench bench-hotpath bench-select bench-history smoke-serve smoke-chaos smoke-shadow smoke-explain smoke-crash
 
 # ci is the gate for every PR: static analysis, a full build, and the test
 # suite under the race detector (trace.Collect and the experiments fan out
@@ -50,13 +55,25 @@ smoke-chaos:
 # docs/PERFORMANCE.md) into the BENCH_hotpath.json baseline, and the serve
 # saturation benchmark (1k+ concurrent streams vs p99 verdict latency and
 # shed rate, see docs/SERVICE.md) into BENCH_serve.json.
-bench:
+bench: bench-hotpath
 	$(GO) test -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/telemetry | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -out BENCH_telemetry.json $(BENCH_APPEND)
-	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee bench_hotpath.out
-	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json $(BENCH_APPEND)
 	$(GO) test -bench '^BenchmarkServe(Saturation|ForensicsOverhead)$$' -benchtime $(BENCHTIME) -run '^$$' ./internal/serve | tee bench_serve.out
 	$(GO) run ./cmd/benchjson -in bench_serve.out -out BENCH_serve.json $(BENCH_APPEND)
+
+# bench-hotpath regenerates BENCH_hotpath.json with enough samples per arm
+# (-min-iters 5) that the artifact is trustworthy enough to gate on.
+bench-hotpath:
+	$(GO) test -bench '^Benchmark(Select|Fit|CrossValidate)$$' -benchmem -benchtime $(HOTPATH_BENCHTIME) -run '^$$' . | tee bench_hotpath.out
+	$(GO) run ./cmd/benchjson -in bench_hotpath.out -out BENCH_hotpath.json -min-iters 5 $(BENCH_APPEND)
+
+# bench-select is the selection-regression guard (CI-gated): re-check the
+# committed BENCH_hotpath.json and fail if the parallel-packed Select arm is
+# not strictly faster than the serial-dense baseline, or if either arm was
+# recorded from fewer than 5 iterations.
+bench-select:
+	$(GO) run ./cmd/benchjson -injson BENCH_hotpath.json -min-iters 5 \
+		-require-faster 'BenchmarkSelect/parallel-packed<BenchmarkSelect/serial-dense'
 
 # bench-history is `make bench` plus the timestamped trajectory: every run
 # appends one JSONL line per artifact to BENCH_history.jsonl (see

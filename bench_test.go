@@ -223,9 +223,9 @@ func BenchmarkSelect(b *testing.B) {
 	X, y := p.Enc.Matrix(p.DS)
 	run := func(workers int, dense bool) func(*testing.B) {
 		return func(b *testing.B) {
-			features.Workers = workers
-			features.ForceDense = dense
-			defer func() { features.Workers = 0; features.ForceDense = false }()
+			features.SetWorkers(workers)
+			features.SetForceDense(dense)
+			defer func() { features.SetWorkers(0); features.SetForceDense(false) }()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sel := features.Select(X, y, p.DS.Components, features.DefaultSelectConfig())

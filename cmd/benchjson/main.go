@@ -5,13 +5,21 @@
 // Usage:
 //
 //	go test -bench . -benchmem | benchjson -out BENCH.json
-//	benchjson -in bench.out -out BENCH.json
+//	benchjson -in bench.out -out BENCH.json -min-iters 5
+//	benchjson -injson BENCH.json -require-faster 'BenchmarkSelect/parallel-packed<BenchmarkSelect/serial-dense'
 //
 // Each benchmark result line
 //
 //	BenchmarkName-8   100   123 ns/op   45 B/op   6 allocs/op   0.99 accuracy
 //
 // becomes one entry with the iteration count and every unit-tagged metric.
+//
+// Guardrails: single-iteration entries are pure noise, so benchjson always
+// warns about them and refuses them outright under -min-iters. The
+// -require-faster flag (repeatable via comma separation) turns the report
+// into a trajectory gate: 'A<B' fails the run unless benchmark A's ns/op is
+// strictly below B's. With -injson an existing report is re-checked without
+// re-running the benchmarks, which is how `make bench-select` gates CI.
 package main
 
 import (
@@ -48,22 +56,46 @@ type Report struct {
 
 func main() {
 	in := flag.String("in", "-", "benchmark text input file (- for stdin)")
+	inJSON := flag.String("injson", "", "existing benchjson report to re-check (guards only, no output written)")
 	out := flag.String("out", "-", "JSON output file (- for stdout)")
 	appendTo := flag.String("append", "", "also append the report as one timestamped JSONL line to this history file")
+	minIters := flag.Int64("min-iters", 0, "fail if any benchmark ran fewer iterations (0: warn on 1-iteration entries only)")
+	faster := flag.String("require-faster", "", "comma-separated 'A<B' pairs; fail unless ns/op of A is strictly below B")
 	flag.Parse()
 
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		f, err := os.Open(*in)
-		if err != nil {
+	var rep *Report
+	if *inJSON != "" {
+		var err error
+		if rep, err = loadReport(*inJSON); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		r = f
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		if rep, err = parse(r); err != nil {
+			fatal(err)
+		}
 	}
-	rep, err := parse(r)
-	if err != nil {
+
+	if err := checkIterations(rep, *minIters); err != nil {
 		fatal(err)
+	}
+	if err := checkFaster(rep, *faster); err != nil {
+		fatal(err)
+	}
+
+	if *inJSON != "" {
+		// Guard-only mode: the report already exists on disk; just say so.
+		fmt.Fprintf(os.Stderr, "benchjson: %s ok (%d benchmarks)\n", *inJSON, len(rep.Benchmarks))
+		return
 	}
 
 	var w io.Writer = os.Stdout
@@ -89,6 +121,74 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: appended run to %s\n", *appendTo)
 	}
+}
+
+// loadReport reads a previously emitted report back for guard re-checks.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// checkIterations enforces the minimum iteration count. Single-iteration
+// entries are always flagged — one sample has no variance estimate — but
+// only fail the run when -min-iters demands more.
+func checkIterations(rep *Report, min int64) error {
+	for _, b := range rep.Benchmarks {
+		if min > 0 && b.Iterations < min {
+			return fmt.Errorf("%s ran %d iterations, need >= %d (raise -benchtime)", b.Name, b.Iterations, min)
+		}
+		if b.Iterations == 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s ran a single iteration — its numbers are noise\n", b.Name)
+		}
+	}
+	return nil
+}
+
+// checkFaster enforces 'A<B' ns/op orderings, e.g. the parallel-packed vs
+// serial-dense selection guard.
+func checkFaster(rep *Report, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	nsop := func(name string) (float64, error) {
+		for _, b := range rep.Benchmarks {
+			if b.Name == name {
+				v, ok := b.Metrics["ns/op"]
+				if !ok {
+					return 0, fmt.Errorf("%s has no ns/op metric", name)
+				}
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("benchmark %q not found in report", name)
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(pair), "<")
+		if !ok {
+			return fmt.Errorf("bad -require-faster pair %q, want 'A<B'", pair)
+		}
+		va, err := nsop(strings.TrimSpace(a))
+		if err != nil {
+			return err
+		}
+		vb, err := nsop(strings.TrimSpace(b))
+		if err != nil {
+			return err
+		}
+		if va >= vb {
+			return fmt.Errorf("regression: %s (%.0f ns/op) is not faster than %s (%.0f ns/op)", a, va, b, vb)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s (%.0f ns/op) faster than %s (%.0f ns/op): %.2fx\n",
+			strings.TrimSpace(a), va, strings.TrimSpace(b), vb, vb/va)
+	}
+	return nil
 }
 
 // appendHistory appends the report as one compact, timestamped JSON line, so

@@ -309,6 +309,13 @@ func selKey(datasetKey string, selCfg features.SelectConfig) string {
 // layer at most once: the dataset via Dataset, the encoder + selection
 // memoized per (dataset, selCfg).
 func (s *Store) Prepared(progs []workload.Program, cfg trace.CollectConfig, selCfg features.SelectConfig) *Prepared {
+	return s.PreparedCtx(context.Background(), progs, cfg, selCfg)
+}
+
+// PreparedCtx is Prepared with the caller's context threaded through
+// collection and selection, so their telemetry spans nest under the
+// caller's (e.g. a train span) instead of starting a fresh trace.
+func (s *Store) PreparedCtx(ctx context.Context, progs []workload.Program, cfg trace.CollectConfig, selCfg features.SelectConfig) *Prepared {
 	dsKey := DatasetKey(progs, cfg)
 	key := selKey(dsKey, selCfg)
 	s.mu.Lock()
@@ -319,10 +326,10 @@ func (s *Store) Prepared(progs []workload.Program, cfg trace.CollectConfig, selC
 	}
 	s.mu.Unlock()
 
-	ds := s.Dataset(progs, cfg)
+	ds := s.DatasetCtx(ctx, progs, cfg)
 	enc := trace.NewEncoder(ds)
 	X, y := enc.Matrix(ds)
-	sel := features.Select(X, y, ds.Components, selCfg)
+	sel := features.SelectCtx(ctx, X, y, ds.Components, selCfg)
 	p := &Prepared{DS: ds, Enc: enc, Sel: sel}
 
 	s.mu.Lock()

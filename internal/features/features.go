@@ -6,6 +6,19 @@
 // selection by mutual information with the class, down to the paper's 106
 // features.
 //
+// Selection is the dominant offline cost, so the default path runs through
+// a shared per-call selection context (see context.go): the input matrix is
+// classified (exactly-0/1?, ±1 labels?) once, bit-packed into a column-major
+// PackedMatrix once, and its moments are computed once; the mutual
+// information, class correlation and correlation-group kernels all read from
+// that context instead of re-deriving those passes per kernel. The
+// correlation pair sweep — O(f²·n) over the paper's counter space — runs
+// blocked (cache-resident column tiles, balanced work items) and, on dense
+// input, prunes pairs that provably cannot reach the grouping threshold via
+// per-column suffix norms. Outputs are identical to the historical
+// per-kernel implementations, which remain available behind SetForceDense
+// as the benchmark baseline and property-test reference.
+//
 // It also provides the MAP-style committed-state feature subset used as the
 // prior-work baseline in Table IV.
 package features
@@ -24,31 +37,44 @@ import (
 	"perspectron/internal/telemetry"
 )
 
-// Workers bounds the worker goroutines the selection kernels fan out to.
+// workers bounds the worker goroutines the selection kernels fan out to;
+// forceDense pins the legacy per-kernel reference path. Both are atomics so
+// benchmarks and tests can retune them while a selection is running on
+// another goroutine without tripping the race detector (the knobs used to
+// be bare package globals read concurrently by parallelDo workers).
+var (
+	workers    atomic.Int32
+	forceDense atomic.Bool
+)
+
+// SetWorkers bounds the worker goroutines the selection kernels fan out to.
 // 0 (the default) uses runtime.GOMAXPROCS; 1 forces the serial path — the
 // dense-baseline configuration the hot-path benchmarks measure against.
 // Results are bit-identical for any worker count: work items (feature
-// columns, feature pairs) are self-contained and written to disjoint slots.
-var Workers int
+// columns, column-block pairs) are self-contained and written to disjoint
+// slots.
+func SetWorkers(n int) { workers.Store(int32(n)) }
 
-// ForceDense disables the bit-packed popcount kernels so benchmarks and
-// tests can measure the dense float path on 0/1 input. The packed kernels
-// are otherwise chosen automatically whenever the input matrix is exactly
-// 0/1 (and, for ClassCorrelation, the labels are ±1).
-var ForceDense bool
+// SetForceDense routes the selection kernels through the legacy per-kernel
+// implementations (per-kernel matrix scans, per-pair dense Pearson over the
+// row-major matrix) instead of the shared selection context. This is the
+// seed-implementation baseline the hot-path benchmarks compare against and
+// the reference the packed-context property tests pin to; production code
+// never sets it.
+func SetForceDense(v bool) { forceDense.Store(v) }
 
 // parallelDo runs fn(0..n-1) across the configured worker count, handing
-// out indices through an atomic counter so uneven items (the triangular
-// pair sweep) stay balanced. fn must write only to its own index's state.
+// out indices through an atomic counter so uneven items stay balanced.
+// fn must write only to its own index's state.
 func parallelDo(n int, fn func(i int)) {
-	workers := Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	w := int(workers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if w > n {
+		w = n
 	}
-	if workers <= 1 {
+	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -56,7 +82,7 @@ func parallelDo(n int, fn func(i int)) {
 	}
 	var next int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -166,12 +192,23 @@ func Pearson(X [][]float64, m Moments, a, b int) float64 {
 }
 
 // ClassCorrelation returns, for every feature, the Pearson correlation with
-// the ±1 class labels. Features are swept in parallel (see Workers). When X
-// is exactly 0/1 and the labels are ±1, each correlation is computed from
-// popcounts over bit-packed columns via the exact integer identity
-// binaryClassCorr — mathematically equal to the dense form, differing only
-// in the rounding of intermediates.
+// the ±1 class labels. When X is exactly 0/1 and the labels are ±1, each
+// correlation is computed from popcounts over the context's bit-packed
+// columns via the exact integer identity binaryClassCorr — mathematically
+// equal to the dense form, differing only in the rounding of intermediates.
 func ClassCorrelation(X [][]float64, y []float64) []float64 {
+	if forceDense.Load() || len(X) == 0 || len(X[0]) == 0 {
+		return legacyClassCorrelation(X, y)
+	}
+	sc := newSelCtx(X, y)
+	defer sc.release()
+	return sc.classCorrelation()
+}
+
+// legacyClassCorrelation is the historical dense implementation: its own
+// moments pass plus a per-feature row loop. Kept verbatim as the
+// SetForceDense baseline and property-test reference.
+func legacyClassCorrelation(X [][]float64, y []float64) []float64 {
 	m := ComputeMoments(X)
 	n := len(X)
 	var ym, ys float64
@@ -185,21 +222,6 @@ func ClassCorrelation(X [][]float64, y []float64) []float64 {
 	ys = math.Sqrt(ys / float64(n))
 	out := make([]float64, len(m.Mean))
 	if ys == 0 {
-		return out
-	}
-	if !ForceDense && isBinaryMatrix(X) && isSignLabels(y) {
-		ypos := encoding.PackThreshold(y, 0) // bit i set iff y[i] = +1
-		nPos := ypos.Ones()
-		sy := nPos - (n - nPos)
-		parallelDo(len(out), func(j int) {
-			col := encoding.PackColumn(X, j, 1)
-			ca := col.Ones()
-			c11 := col.AndCount(ypos)
-			// Σ x·y over ±1 labels: ones on the +1 side minus ones on
-			// the -1 side.
-			sxy := c11 - (ca - c11)
-			out[j] = binaryClassCorr(n, ca, sxy, sy)
-		})
 		return out
 	}
 	parallelDo(len(out), func(j int) {
@@ -218,12 +240,28 @@ func ClassCorrelation(X [][]float64, y []float64) []float64 {
 // MutualInformation returns, per feature, the mutual information (in bits)
 // between the binarized feature (threshold 0.5) and the class.
 //
-// The contingency counts are gathered by popcount over bit-packed columns
-// and features are swept in parallel; since the counts are exact integers
-// either way and the downstream arithmetic is unchanged, the result is
-// bit-identical to the historical dense row loop (pinned by
+// The contingency counts are gathered by popcount over the context's
+// bit-packed columns and features are swept in parallel; since the counts
+// are exact integers either way and the downstream arithmetic is unchanged,
+// the result is bit-identical to the historical dense row loop (pinned by
 // TestMutualInformationPackedBitIdentical).
 func MutualInformation(X [][]float64, y []float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	if forceDense.Load() || len(X[0]) == 0 {
+		return legacyMutualInformation(X, y)
+	}
+	sc := newSelCtx(X, y)
+	defer sc.release()
+	return sc.mutualInformation()
+}
+
+// legacyMutualInformation is the per-kernel implementation MutualInformation
+// shipped with: it re-packs every column itself (one PackColumn per
+// feature) instead of reading a shared PackedMatrix. Kept as the
+// SetForceDense baseline.
+func legacyMutualInformation(X [][]float64, y []float64) []float64 {
 	n := len(X)
 	if n == 0 {
 		return nil
@@ -240,28 +278,35 @@ func MutualInformation(X [][]float64, y []float64) []float64 {
 	pY1 := float64(nPosInt) / float64(n)
 	parallelDo(f, func(j int) {
 		col := encoding.PackColumn(X, j, encoding.BinarizeThreshold)
-		onesJ := col.Ones()
-		c11i := col.AndCount(ypos)
-		c11 := float64(c11i)
-		c10 := float64(onesJ - c11i)
-		c01 := float64(nPosInt - c11i)
-		c00 := float64(n - onesJ - (nPosInt - c11i))
-		pX1 := (c11 + c10) / float64(n)
-		mi := 0.0
-		add := func(c, px, py float64) {
-			if c == 0 || px == 0 || py == 0 {
-				return
-			}
-			p := c / float64(n)
-			mi += p * math.Log2(p/(px*py))
-		}
-		add(c11, pX1, pY1)
-		add(c10, pX1, 1-pY1)
-		add(c01, 1-pX1, pY1)
-		add(c00, 1-pX1, 1-pY1)
-		out[j] = mi
+		out[j] = miFromCounts(n, col.Ones(), col.AndCount(ypos), nPosInt, pY1)
 	})
 	return out
+}
+
+// miFromCounts computes the mutual information of one binarized feature
+// with the class from its contingency counts: onesJ set bits in the
+// feature column, c11i co-occurrences with the positive class, nPos
+// positives, pY1 = nPos/n. The arithmetic is exactly the historical dense
+// loop's, so any kernel that feeds it the same integers is bit-identical.
+func miFromCounts(n, onesJ, c11i, nPos int, pY1 float64) float64 {
+	c11 := float64(c11i)
+	c10 := float64(onesJ - c11i)
+	c01 := float64(nPos - c11i)
+	c00 := float64(n - onesJ - (nPos - c11i))
+	pX1 := (c11 + c10) / float64(n)
+	mi := 0.0
+	add := func(c, px, py float64) {
+		if c == 0 || px == 0 || py == 0 {
+			return
+		}
+		p := c / float64(n)
+		mi += p * math.Log2(p/(px*py))
+	}
+	add(c11, pX1, pY1)
+	add(c10, pX1, 1-pY1)
+	add(c01, 1-pX1, pY1)
+	add(c00, 1-pX1, 1-pY1)
+	return mi
 }
 
 // Group is one set of mutually correlated features (Table I column).
@@ -271,31 +316,33 @@ type Group struct {
 
 // CorrelationGroups clusters features whose pairwise |Pearson| exceeds
 // threshold, using single-linkage over the features with non-zero variance.
-// Groups are returned largest-first; members are ranked by class
-// correlation, matching Table I's presentation.
+// Groups are returned largest-first, ties broken by smallest member index;
+// members are ranked by class correlation, matching Table I's presentation.
 //
 // The O(f²·n) pair sweep — the dominant cost of selection over the paper's
-// ~1159 counters — is sharded across Workers goroutines; each pair's
-// correlation is computed independently, so the resulting partition is
-// identical to the serial sweep. On exactly-0/1 input the sweep further
-// drops to popcounts over bit-packed columns (binaryPearson), turning each
-// pair into ~n/64 word operations.
+// ~1159 counters — runs over cache-blocked column-pair work items sharded
+// across the configured workers. On exactly-0/1 input each pair drops to
+// popcounts over the shared bit-packed columns (binaryPearson); on dense
+// input the sweep runs over contiguous centered columns with a suffix-norm
+// bound that exactly prunes pairs which cannot reach the threshold (see
+// denseEdges). Either way the partition is identical to the serial
+// per-pair sweep.
 func CorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
+	if forceDense.Load() || len(X) == 0 || len(X[0]) == 0 {
+		return legacyCorrelationGroups(X, y, threshold)
+	}
+	sc := newSelCtx(X, y)
+	defer sc.release()
+	return sc.correlationGroups(threshold)
+}
+
+// legacyCorrelationGroups is the historical dense implementation: a
+// per-kernel moments pass and a per-pair Pearson sweep over the row-major
+// matrix, sharded per row (row ai carries len(active)-ai pairs). Kept as
+// the SetForceDense baseline and reference.
+func legacyCorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
 	m := ComputeMoments(X)
 	f := len(m.Mean)
-	parent := make([]int, f)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(i int) int {
-		if parent[i] != i {
-			parent[i] = find(parent[i])
-		}
-		return parent[i]
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
 	active := make([]int, 0, f)
 	for j := 0; j < f; j++ {
 		if m.Std[j] > 0 {
@@ -307,66 +354,96 @@ func CorrelationGroups(X [][]float64, y []float64, threshold float64) []Group {
 	// per-row slots (disjoint per work item); unions are applied serially
 	// afterwards. Single-linkage components are order-independent, so the
 	// partition matches the historical serial union order exactly.
-	n := len(X)
 	edges := make([][]int, len(active)) // edges[ai] = indices bi > ai linked to ai
-	if !ForceDense && isBinaryMatrix(X) {
-		cols := make([]encoding.BitVec, len(active))
-		ones := make([]int, len(active))
-		parallelDo(len(active), func(ai int) {
-			cols[ai] = encoding.PackColumn(X, active[ai], 1)
-			ones[ai] = cols[ai].Ones()
-		})
-		parallelDo(len(active), func(ai int) {
-			var row []int
-			for bi := ai + 1; bi < len(active); bi++ {
-				r := binaryPearson(n, ones[ai], ones[bi], cols[ai].AndCount(cols[bi]))
-				if math.Abs(r) >= threshold {
-					row = append(row, bi)
-				}
+	parallelDo(len(active), func(ai int) {
+		var row []int
+		a := active[ai]
+		for bi := ai + 1; bi < len(active); bi++ {
+			if math.Abs(Pearson(X, m, a, active[bi])) >= threshold {
+				row = append(row, bi)
 			}
-			edges[ai] = row
-		})
-	} else {
-		parallelDo(len(active), func(ai int) {
-			var row []int
-			a := active[ai]
-			for bi := ai + 1; bi < len(active); bi++ {
-				if math.Abs(Pearson(X, m, a, active[bi])) >= threshold {
-					row = append(row, bi)
-				}
-			}
-			edges[ai] = row
-		})
-	}
+		}
+		edges[ai] = row
+	})
+
+	uf := newUnionFind(f)
 	for ai, row := range edges {
 		for _, bi := range row {
-			union(active[ai], active[bi])
+			uf.union(active[ai], active[bi])
 		}
 	}
+	return assembleGroups(active, uf, ClassCorrelation(X, y))
+}
 
+// unionFind is the single-linkage merge structure shared by every pair
+// sweep; unions are always applied serially after the parallel sweep.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(i int) int {
+	if u.parent[i] != i {
+		u.parent[i] = u.find(u.parent[i])
+	}
+	return u.parent[i]
+}
+
+func (u *unionFind) union(a, b int) { u.parent[u.find(a)] = u.find(b) }
+
+// assembleGroups turns a merged partition over the active features into the
+// presented group list: members ranked by |class correlation| descending,
+// groups ordered largest-first with ties broken by the smallest member
+// index. The tie-break deliberately uses the smallest *feature index* (not
+// Members[0] after the class-correlation re-ranking, as the original
+// implementation did): equal-size groups now order by a layout-independent
+// key instead of by whichever member happens to rank first.
+func assembleGroups(active []int, uf *unionFind, cc []float64) []Group {
 	byRoot := map[int][]int{}
 	for _, j := range active {
-		r := find(j)
+		r := uf.find(j)
 		byRoot[r] = append(byRoot[r], j)
 	}
-	cc := ClassCorrelation(X, y)
 	var groups []Group
+	var minIdx []int // smallest member of groups[i]; members arrive ascending
 	for _, members := range byRoot {
 		if len(members) < 2 {
 			continue
 		}
+		lo := members[0]
 		sort.Slice(members, func(i, k int) bool {
 			return math.Abs(cc[members[i]]) > math.Abs(cc[members[k]])
 		})
 		groups = append(groups, Group{Members: members})
+		minIdx = append(minIdx, lo)
 	}
-	sort.Slice(groups, func(i, k int) bool {
-		if len(groups[i].Members) != len(groups[k].Members) {
-			return len(groups[i].Members) > len(groups[k].Members)
-		}
-		return groups[i].Members[0] < groups[k].Members[0]
-	})
+	sort.Sort(&groupSorter{groups: groups, minIdx: minIdx})
 	return groups
+}
+
+// groupSorter orders groups by size descending, then smallest member index
+// ascending — a total order (the partition makes minimum members unique),
+// so the output never depends on map iteration or union order.
+type groupSorter struct {
+	groups []Group
+	minIdx []int
+}
+
+func (s *groupSorter) Len() int { return len(s.groups) }
+func (s *groupSorter) Less(i, k int) bool {
+	if len(s.groups[i].Members) != len(s.groups[k].Members) {
+		return len(s.groups[i].Members) > len(s.groups[k].Members)
+	}
+	return s.minIdx[i] < s.minIdx[k]
+}
+func (s *groupSorter) Swap(i, k int) {
+	s.groups[i], s.groups[k] = s.groups[k], s.groups[i]
+	s.minIdx[i], s.minIdx[k] = s.minIdx[k], s.minIdx[i]
 }
 
 // SelectConfig parameterizes the PerSpectron selection algorithm.
@@ -395,8 +472,15 @@ type Selection struct {
 	MI []float64
 }
 
-// Select runs the paper's three-step procedure over scaled features X with
-// labels y and per-feature component assignments comps:
+// Select runs the paper's three-step selection; see SelectCtx.
+func Select(X [][]float64, y []float64, comps []stats.Component, cfg SelectConfig) Selection {
+	return SelectCtx(context.Background(), X, y, comps, cfg)
+}
+
+// SelectCtx runs the paper's three-step procedure over scaled features X
+// with labels y and per-feature component assignments comps, attaching its
+// telemetry spans to the caller's context (so a selection inside a training
+// run nests under the "train" span instead of starting a fresh trace):
 //
 //  1. correlate all features and form groups at GroupThreshold;
 //  2. within each component, keep only the most informative member of each
@@ -404,14 +488,34 @@ type Selection struct {
 //     components survive as replicated detectors;
 //  3. greedily pick features per component in round-robin order of mutual
 //     information until MaxFeatures.
-func Select(X [][]float64, y []float64, comps []stats.Component, cfg SelectConfig) Selection {
-	ctx, span := telemetry.StartSpan(context.Background(), "select")
+//
+// Both kernels of step 1 run off one shared selection context — the matrix
+// is scanned, packed and centered exactly once per call.
+func SelectCtx(ctx context.Context, X [][]float64, y []float64, comps []stats.Component, cfg SelectConfig) Selection {
+	ctx, span := telemetry.StartSpan(ctx, "select")
 	defer span.End()
 
-	_, miSpan := telemetry.StartSpan(ctx, "mi")
-	mi := MutualInformation(X, y)
-	miSpan.End()
-	groups := CorrelationGroups(X, y, cfg.GroupThreshold)
+	var mi []float64
+	var groups []Group
+	if forceDense.Load() || len(X) == 0 || len(X[0]) == 0 {
+		_, miSpan := telemetry.StartSpan(ctx, "mi")
+		mi = MutualInformation(X, y)
+		miSpan.End()
+		_, gSpan := telemetry.StartSpan(ctx, "groups")
+		groups = CorrelationGroups(X, y, cfg.GroupThreshold)
+		gSpan.End()
+	} else {
+		_, packSpan := telemetry.StartSpan(ctx, "pack")
+		sc := newSelCtx(X, y)
+		defer sc.release()
+		packSpan.End()
+		_, miSpan := telemetry.StartSpan(ctx, "mi")
+		mi = sc.mutualInformation()
+		miSpan.End()
+		_, gSpan := telemetry.StartSpan(ctx, "groups")
+		groups = sc.correlationGroups(cfg.GroupThreshold)
+		gSpan.End()
+	}
 
 	// Step 2: within-component decorrelation. For every (group, component)
 	// pair keep the member with the highest MI.

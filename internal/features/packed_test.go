@@ -201,9 +201,9 @@ func TestClassCorrelationPackedBitIdentical(t *testing.T) {
 		X, y := randBinary(r, n, f)
 		got := ClassCorrelation(X, y)
 
-		ForceDense = true
+		SetForceDense(true)
 		dense := ClassCorrelation(X, y)
-		ForceDense = false
+		SetForceDense(false)
 
 		for j := 0; j < f; j++ {
 			if ref := countClassCorrRef(X, y, j); got[j] != ref {
@@ -225,9 +225,9 @@ func TestCorrelationGroupsPackedMatchesDense(t *testing.T) {
 		X, y := randBinary(r, 60+r.Intn(100), 8+r.Intn(16))
 		packed := CorrelationGroups(X, y, 0.98)
 
-		ForceDense = true
+		SetForceDense(true)
 		dense := CorrelationGroups(X, y, 0.98)
-		ForceDense = false
+		SetForceDense(false)
 
 		if !reflect.DeepEqual(packed, dense) {
 			t.Fatalf("trial %d: packed groups %v != dense groups %v", trial, packed, dense)
@@ -270,10 +270,10 @@ func TestSelectionWorkerCountInvariant(t *testing.T) {
 		}
 		var got []Selection
 		for _, workers := range []int{1, 2, 7} {
-			Workers = workers
+			SetWorkers(workers)
 			got = append(got, Select(X, y, comps(f), cfg))
 		}
-		Workers = 0
+		SetWorkers(0)
 		for i := 1; i < len(got); i++ {
 			if !reflect.DeepEqual(got[0], got[i]) {
 				t.Fatalf("trial %d: selection differs between worker counts: %v vs %v",

@@ -199,19 +199,19 @@ func (o Options) selectConfig() features.SelectConfig {
 // the paper's feature-selection algorithm, trains the perceptron on
 // k-sparse binary features, and returns the packaged detector.
 func Train(workloads []Workload, opts Options) (*Detector, error) {
-	_, span := telemetry.StartSpan(context.Background(), "train")
+	ctx, span := telemetry.StartSpan(context.Background(), "train")
 	defer span.End()
 
 	if len(workloads) == 0 {
 		return nil, fmt.Errorf("perspectron: no training workloads")
 	}
 	store := corpus.Default()
-	ds := store.Dataset(workloads, opts.CollectConfig())
+	ds := store.DatasetCtx(ctx, workloads, opts.CollectConfig())
 	b, m := ds.ClassCounts()
 	if b == 0 || m == 0 {
 		return nil, fmt.Errorf("perspectron: training corpus needs both classes (benign=%d malicious=%d)", b, m)
 	}
-	p := store.Prepared(workloads, opts.CollectConfig(), opts.selectConfig())
+	p := store.PreparedCtx(ctx, workloads, opts.CollectConfig(), opts.selectConfig())
 	enc, sel := p.Enc, p.Sel
 	if len(sel.Indices) == 0 {
 		return nil, fmt.Errorf("perspectron: feature selection found no informative features")
